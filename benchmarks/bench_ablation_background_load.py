@@ -1,0 +1,70 @@
+"""§1/§7 -- harvesting idle capacity under a time-varying background load.
+
+The paper's opening motivation: with static schedulers, "jobs already
+running in the cluster cannot benefit from extra resources when they become
+available (e.g., during night time)". Optimus's whole point is that it can.
+
+We share the cluster with a step-shaped background load that releases
+capacity mid-experiment and compare Optimus with static-FIFO: Optimus must
+(a) beat FIFO under the varying load and (b) visibly grow its task count
+when capacity frees up.
+"""
+
+from bench_common import report
+from repro.cluster import Cluster, cpu_mem
+from repro.schedulers import make_scheduler
+from repro.sim import SimConfig, simulate, step_load
+from repro.workloads import uniform_arrivals
+
+#: Heavy background for the first 2 hours, then it recedes.
+RELEASE_TIME = 7_200.0
+LOAD = step_load([(0.0, 0.6), (RELEASE_TIME, 0.05)])
+
+
+def run_pair():
+    jobs = uniform_arrivals(
+        num_jobs=6,
+        window=1_800,
+        seed=21,
+        models=["seq2seq", "inception-bn", "rnn-lstm", "deepspeech2"],
+    )
+    out = {}
+    for name in ("optimus", "fifo"):
+        cluster = Cluster.homogeneous(13, cpu_mem(16, 80))
+        config = SimConfig(seed=7, background_load=LOAD)
+        out[name] = simulate(cluster, make_scheduler(name), jobs, config)
+    return out
+
+
+def test_ablation_background_load(benchmark):
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    optimus = results["optimus"]
+    fifo = results["fifo"]
+    assert optimus.all_finished
+
+    # (a) dynamic scaling beats static allocations under varying load.
+    assert optimus.average_jct < fifo.average_jct
+    assert optimus.makespan <= fifo.makespan * 1.05
+
+    # (b) Optimus ramps up once the background recedes.
+    before = [s.running_tasks for s in optimus.timeline if s.time < RELEASE_TIME]
+    after = [s.running_tasks for s in optimus.timeline if s.time >= RELEASE_TIME]
+    if before and after:
+        assert max(after) > max(before)
+
+    lines = [
+        "paper §1 motivation: static jobs cannot use capacity freed by other",
+        "workloads; Optimus rescales into it.",
+        f"background: 60% of every server until t={RELEASE_TIME:.0f}s, then 5%.",
+        "",
+        f"{'scheduler':10s} {'JCT(h)':>8s} {'makespan(h)':>12s} {'peak tasks pre/post release':>28s}",
+    ]
+    for name, result in results.items():
+        before = [s.running_tasks for s in result.timeline if s.time < RELEASE_TIME]
+        after = [s.running_tasks for s in result.timeline if s.time >= RELEASE_TIME]
+        lines.append(
+            f"{name:10s} {result.average_jct/3600:8.2f} "
+            f"{result.makespan/3600:12.2f} "
+            f"{max(before, default=0):14d} / {max(after, default=0):d}"
+        )
+    report("ablation_background_load", lines)

@@ -1,0 +1,65 @@
+"""Fig. 1 -- training curves of ResNext-110 on CIFAR10.
+
+The paper's Fig. 1 motivates convergence-based job completion: the training
+loss decays monotonically and plateaus. We regenerate the loss curve from
+the ground-truth generator and check its qualitative features.
+"""
+
+import numpy as np
+
+from bench_common import report
+from repro.workloads import (
+    MODEL_ZOO,
+    LossEmitter,
+    ValidationEmitter,
+    no_overfitting,
+)
+
+
+def build_curve():
+    profile = MODEL_ZOO["resnext-110"]
+    spe = profile.steps_per_epoch("sync")
+    emitter = LossEmitter(profile.loss, spe, seed=1)
+    validation = ValidationEmitter(profile.loss, seed=1)
+    epochs = np.arange(0, 101)
+    losses = [profile.loss.loss(float(e)) for e in epochs]
+    noisy = [emitter.observe(int(e * spe)).loss for e in epochs]
+    metrics = [validation.observe(int(e)) for e in epochs]
+    return profile, epochs, losses, noisy, metrics
+
+
+def test_fig01_training_curves(benchmark):
+    profile, epochs, losses, noisy, metrics = benchmark.pedantic(
+        build_curve, rounds=1, iterations=1
+    )
+    # Monotone decreasing smooth loss with a plateau at the end (Fig 1).
+    assert all(a >= b for a, b in zip(losses, losses[1:]))
+    assert losses[0] == 1.0
+    late_drop = losses[80] - losses[100]
+    early_drop = losses[0] - losses[20]
+    assert late_drop < 0.05 * early_drop  # plateaued
+
+    # Fig 1's accuracy panel: train/val accuracy rise and saturate, val
+    # tracks train from below, and nothing overfits (§2.1).
+    assert metrics[-1].train_accuracy > 0.8
+    assert metrics[-1].validation_accuracy <= metrics[-1].train_accuracy
+    assert metrics[-1].train_accuracy > metrics[5].train_accuracy
+    assert no_overfitting(metrics, tolerance=0.05)
+
+    converge = profile.loss.epochs_to_converge(0.002)
+    lines = [
+        f"model: resnext-110 on CIFAR10 (paper Fig. 1)",
+        f"paper: loss decays fast then plateaus, accuracies saturate;",
+        f"training stops once per-epoch loss decrease is tiny",
+        f"ours : normalised loss 1.00 -> {losses[50]:.3f} (epoch 50) -> "
+        f"{losses[100]:.3f} (epoch 100); convergence at epoch {converge}",
+        "",
+        "epoch  train-loss  val-loss  train-acc  val-acc",
+    ]
+    for e in range(0, 101, 10):
+        m = metrics[e]
+        lines.append(
+            f"{e:5d}  {m.train_loss:10.3f}  {m.validation_loss:8.3f}  "
+            f"{m.train_accuracy:9.3f}  {m.validation_accuracy:7.3f}"
+        )
+    report("fig01_training_curves", lines)

@@ -1,0 +1,37 @@
+"""Fig. 2 -- single-GPU training time of the Table-1 models.
+
+The paper: "training time varies from minutes (CNN-rand) to weeks
+(ResNet-50)". The shape to hold: a several-orders-of-magnitude spread with
+CNN-rand at the bottom and ResNet-50 at the top.
+"""
+
+from bench_common import report
+from repro.common.units import format_duration
+from repro.workloads import MODEL_ZOO
+
+
+def compute_times():
+    return {
+        name: profile.single_gpu_training_time()
+        for name, profile in MODEL_ZOO.items()
+    }
+
+
+def test_fig02_training_time(benchmark):
+    times = benchmark.pedantic(compute_times, rounds=1, iterations=1)
+
+    assert min(times, key=times.get) == "cnn-rand"
+    assert max(times, key=times.get) == "resnet-50"
+    assert times["cnn-rand"] < 600  # minutes
+    assert times["resnet-50"] > 5 * 86_400  # approaching weeks
+    assert times["resnet-50"] / times["cnn-rand"] > 1_000  # huge spread
+
+    lines = [
+        "paper Fig. 2: single-GPU training time spans minutes (CNN-rand) to",
+        "weeks (ResNet-50).",
+        "",
+        f"{'model':14s} {'time':>10s}",
+    ]
+    for name, seconds in sorted(times.items(), key=lambda kv: kv[1]):
+        lines.append(f"{name:14s} {format_duration(seconds):>10s}")
+    report("fig02_training_time", lines)

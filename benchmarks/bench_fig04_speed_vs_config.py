@@ -1,0 +1,50 @@
+"""Fig. 4 -- training speed of ResNet-50 under different (ps, worker) splits.
+
+(a) 20 containers split between ps and workers: an interior optimum near
+    8 workers / 12 ps; both extremes much slower.
+(b) ps:workers fixed at 1:1: speed rises, peaks, then *declines* -- more
+    resources can slow training down.
+"""
+
+from bench_common import report
+from repro.workloads import MODEL_ZOO, StepTimeModel
+
+
+def sweep():
+    model = StepTimeModel(MODEL_ZOO["resnet-50"], "sync")
+    fixed_total = {w: model.speed(20 - w, w) for w in range(1, 20)}
+    one_to_one = {w: model.speed(w, w) for w in range(1, 21)}
+    return fixed_total, one_to_one
+
+
+def test_fig04_speed_vs_config(benchmark):
+    fixed_total, one_to_one = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # (a) interior optimum near w=8 (paper: exactly 8 workers / 12 ps).
+    best_a = max(fixed_total, key=fixed_total.get)
+    assert 5 <= best_a <= 11
+    assert fixed_total[1] < 0.7 * fixed_total[best_a]
+    assert fixed_total[19] < 0.7 * fixed_total[best_a]
+
+    # (b) non-monotone: the curve declines past its peak.
+    best_b = max(one_to_one, key=one_to_one.get)
+    assert best_b < 20
+    assert one_to_one[20] < one_to_one[best_b]
+
+    lines = [
+        "paper Fig. 4(a): 20 containers, max speed at 8 workers + 12 ps",
+        f"ours          : max speed at {best_a} workers + {20 - best_a} ps",
+        "",
+        "   w   speed(20-w ps)   speed(1:1)",
+    ]
+    for w in range(1, 20):
+        lines.append(
+            f"{w:4d}   {fixed_total[w]:14.4f}   {one_to_one[w]:10.4f}"
+        )
+    lines += [
+        "",
+        "paper Fig. 4(b): 1:1 speed peaks then declines (more resources can",
+        f"slow training); ours peaks at w={best_b}, "
+        f"speed(20)={one_to_one[20]:.4f} < peak {one_to_one[best_b]:.4f}",
+    ]
+    report("fig04_speed_vs_config", lines)

@@ -1,0 +1,53 @@
+"""Fig. 5 -- normalised training-loss curves for all nine Table-1 jobs.
+
+The shape to hold: after the §3.1 normalisation every job's curve starts at
+1, decreases (essentially) monotonically and ends well below its start,
+with per-model plateaus spread across (0, 0.4).
+"""
+
+import numpy as np
+
+from bench_common import report
+from repro.fitting.preprocess import preprocess_losses
+from repro.workloads import MODEL_ZOO, LossEmitter
+
+
+def build_curves():
+    curves = {}
+    for name, profile in MODEL_ZOO.items():
+        spe = profile.steps_per_epoch("sync")
+        total_epochs = profile.loss.epochs_to_converge(0.002)
+        emitter = LossEmitter(profile.loss, spe, seed=5)
+        steps = np.linspace(0, total_epochs * spe, 60).astype(int)
+        raw = [emitter.observe(int(s)).loss for s in steps]
+        _, normalised, _ = preprocess_losses(steps, raw)
+        curves[name] = normalised
+    return curves
+
+
+def test_fig05_loss_curves(benchmark):
+    curves = benchmark.pedantic(build_curves, rounds=1, iterations=1)
+    assert len(curves) == 9
+    finals = {}
+    for name, values in curves.items():
+        assert max(values) <= 1.0 + 1e-9, name
+        assert min(values) > 0.0, name
+        # First point is the maximum (loss starts at its peak).
+        assert values[0] == max(values), name
+        # Ends well below the start (fast-converging jobs with high
+        # plateaus, e.g. DSSM, stop around half their initial loss).
+        assert values[-1] < 0.6, name
+        finals[name] = float(values[-1])
+
+    # The plateaus differ across models (Fig 5 shows a spread of curves).
+    assert max(finals.values()) - min(finals.values()) > 0.05
+
+    lines = [
+        "paper Fig. 5: all nine jobs' normalised losses decay from 1 towards",
+        "model-specific plateaus.",
+        "",
+        f"{'model':14s} {'final normalised loss':>22s}",
+    ]
+    for name, final in sorted(finals.items(), key=lambda kv: kv[1]):
+        lines.append(f"{name:14s} {final:22.3f}")
+    report("fig05_loss_curves", lines)

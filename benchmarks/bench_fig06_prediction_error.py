@@ -1,0 +1,67 @@
+"""Fig. 6 -- convergence-prediction error vs training progress.
+
+The paper: prediction errors are large (up to tens of percent) early in
+training and shrink towards zero as more loss data accumulates. We replay
+the online estimator over each model's ground-truth loss stream and measure
+the signed error of the predicted total epochs at several progress points.
+"""
+
+import numpy as np
+
+from bench_common import report
+from repro.core.convergence import ConvergenceEstimator
+from repro.workloads import MODEL_ZOO, LossEmitter
+
+PROGRESS_POINTS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def prediction_errors():
+    errors = {}
+    for name, profile in MODEL_ZOO.items():
+        spe = profile.steps_per_epoch("sync")
+        true_epochs = profile.loss.epochs_to_converge(0.002)
+        true_steps = true_epochs * spe
+        emitter = LossEmitter(profile.loss, spe, seed=9)
+        estimator = ConvergenceEstimator(threshold=0.002, steps_per_epoch=spe)
+        stride = max(1, int(true_steps / 300))
+        per_model = []
+        fed = 0
+        for progress in PROGRESS_POINTS:
+            upto = int(true_steps * progress)
+            for obs in emitter.observe_range(fed, upto, stride):
+                estimator.add_observation(obs.step, obs.loss)
+            fed = upto
+            estimator.fit(force=True)
+            predicted = estimator.predicted_total_steps()
+            per_model.append((predicted - true_steps) / true_steps)
+        errors[name] = per_model
+    return errors
+
+
+def test_fig06_prediction_error(benchmark):
+    errors = benchmark.pedantic(prediction_errors, rounds=1, iterations=1)
+
+    finals = [abs(e[-1]) for e in errors.values()]
+    earlies = [abs(e[0]) for e in errors.values()]
+    # Late errors are small on average and smaller than early errors.
+    assert float(np.mean(finals)) < 0.20
+    assert float(np.mean(finals)) < float(np.mean(earlies))
+    # Every model's final prediction is within 35%.
+    assert max(finals) < 0.35
+
+    lines = [
+        "paper Fig. 6: prediction error (predicted vs actual total epochs)",
+        "is large early and approaches 0 with progress.",
+        "",
+        f"{'model':14s}" + "".join(f"  {int(p*100):3d}%" for p in PROGRESS_POINTS),
+    ]
+    for name, per_model in errors.items():
+        lines.append(
+            f"{name:14s}" + "".join(f" {100*e:+5.0f}" for e in per_model)
+        )
+    lines.append("")
+    lines.append(
+        f"mean |error| early {100*float(np.mean(earlies)):.1f}% -> "
+        f"final {100*float(np.mean(finals)):.1f}%"
+    )
+    report("fig06_prediction_error", lines)

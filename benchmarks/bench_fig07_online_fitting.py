@@ -1,0 +1,61 @@
+"""Fig. 7 -- online Eqn-1 fitting for the Seq2Seq job.
+
+The paper fits b0=0.21, b1=1.07, b2=0.07 on its Seq2Seq run and shows the
+fitted curve hugging the data points. Absolute coefficients depend on the
+step scale; the shape to hold is a small residual and a fitted curve whose
+predictions track the observations across the whole run.
+"""
+
+import numpy as np
+
+from bench_common import report
+from repro.fitting import fit_loss_curve
+from repro.workloads import MODEL_ZOO, LossEmitter
+
+
+def fit_seq2seq():
+    profile = MODEL_ZOO["seq2seq"]
+    spe = profile.steps_per_epoch("sync")
+    total_steps = profile.loss.epochs_to_converge(0.002) * spe
+    emitter = LossEmitter(profile.loss, spe, seed=21)
+    stride = max(1, int(total_steps / 250))
+    observations = emitter.observe_range(0, int(total_steps), stride)
+    fit = fit_loss_curve(
+        [o.step for o in observations], [o.loss for o in observations]
+    )
+    return profile, spe, emitter, observations, fit
+
+
+def test_fig07_online_fitting(benchmark):
+    profile, spe, emitter, observations, fit = benchmark.pedantic(
+        fit_seq2seq, rounds=1, iterations=1
+    )
+    # Tight fit in normalised units.
+    assert fit.residual < 0.03
+    assert fit.beta0 > 0 and fit.beta1 > 0 and fit.beta2 >= 0
+
+    # Fitted predictions track the smooth truth across the run.
+    scale = emitter.initial_loss
+    rel_errors = []
+    total = observations[-1].step
+    for frac in (0.2, 0.5, 0.8, 1.0):
+        step = int(total * frac)
+        truth = emitter.true_loss(step)
+        rel_errors.append(abs(fit.predict_raw(step) - truth) / truth)
+    assert max(rel_errors) < 0.15
+
+    lines = [
+        "paper Fig. 7: Seq2Seq loss fitted with Eqn 1; paper coefficients",
+        "b0=0.21 b1=1.07 b2=0.07 (their step scale).",
+        f"ours: b0={fit.beta0:.3g} b1={fit.beta1:.3g} b2={fit.beta2:.3g} "
+        f"rmse={fit.residual:.4f} on {fit.num_points} points",
+        "",
+        "progress  true-loss  fitted-loss",
+    ]
+    for frac in (0.1, 0.25, 0.5, 0.75, 1.0):
+        step = int(total * frac)
+        lines.append(
+            f"{int(frac*100):7d}%  {emitter.true_loss(step):9.3f}  "
+            f"{fit.predict_raw(step):11.3f}"
+        )
+    report("fig07_online_fitting", lines)

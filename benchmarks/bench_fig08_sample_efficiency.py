@@ -1,0 +1,61 @@
+"""Fig. 8 -- speed-estimation error vs number of profiling samples.
+
+The paper: <10% error with only 10 (p, w) sample runs, improving with more
+samples but with diminishing returns.
+"""
+
+import numpy as np
+
+from bench_common import report
+from repro.fitting import fit_speed_model, sample_configurations
+from repro.workloads import MODEL_ZOO, StepTimeModel
+
+SAMPLE_COUNTS = (5, 8, 10, 16, 24)
+TRIALS = 6
+
+
+def sweep_samples():
+    truth = StepTimeModel(MODEL_ZOO["resnet-50"], "sync")
+    grid = [(p, w) for p in range(2, 21, 3) for w in range(2, 21, 3)]
+
+    def mean_error(num_samples, trial):
+        configs = sample_configurations(20, 20, num_samples, seed=trial * 100)
+        samples = [
+            (p, w, truth.measured_speed(p, w, seed=trial * 1000 + p * 31 + w,
+                                        noise_std=0.03))
+            for p, w in configs
+        ]
+        fit = fit_speed_model(samples, "sync", global_batch=256)
+        return float(
+            np.mean(
+                [abs(fit.predict(p, w) - truth.speed(p, w)) / truth.speed(p, w)
+                 for p, w in grid]
+            )
+        )
+
+    return {
+        n: float(np.mean([mean_error(n, t) for t in range(TRIALS)]))
+        for n in SAMPLE_COUNTS
+    }
+
+
+def test_fig08_sample_efficiency(benchmark):
+    errors = benchmark.pedantic(sweep_samples, rounds=1, iterations=1)
+
+    # Paper: under 10% error with 10 samples.
+    assert errors[10] < 0.10
+    # More samples help...
+    assert errors[24] <= errors[5]
+    # ...but with diminishing returns: the 16->24 gain is smaller than the
+    # 5->10 gain.
+    assert (errors[16] - errors[24]) <= (errors[5] - errors[10]) + 0.01
+
+    lines = [
+        "paper Fig. 8: <10% speed-estimation error at 10 samples, diminishing",
+        "returns beyond.",
+        "",
+        f"{'samples':>8s} {'mean rel. error':>16s}",
+    ]
+    for n in SAMPLE_COUNTS:
+        lines.append(f"{n:8d} {100*errors[n]:15.1f}%")
+    report("fig08_sample_efficiency", lines)

@@ -1,0 +1,60 @@
+"""Fig. 17 -- sensitivity to job arrival processes.
+
+Paper: Optimus keeps beating DRF and Tetris under (a) Poisson arrivals
+(3 jobs per 10-minute interval) and (b) arrivals extracted from the Google
+cluster trace, whose spikes Optimus absorbs better.
+"""
+
+from bench_common import normalised_row, report, run_scheduler
+from repro.workloads import google_trace_arrivals, poisson_arrivals
+
+SCHEDULERS = ("optimus", "drf", "tetris")
+
+
+def run_arrivals():
+    workloads = {
+        "poisson": poisson_arrivals(
+            rate_per_interval=3, interval=600, duration=3_000, seed=42
+        ),
+        "google": google_trace_arrivals(num_jobs=14, duration=9_000, seed=42),
+    }
+    return {
+        label: {
+            name: run_scheduler(name, jobs=jobs, seed=7) for name in SCHEDULERS
+        }
+        for label, jobs in workloads.items()
+    }
+
+
+def test_fig17_arrival_processes(benchmark):
+    results = benchmark.pedantic(run_arrivals, rounds=1, iterations=1)
+
+    norms = {label: normalised_row(res) for label, res in results.items()}
+    for label in ("poisson", "google"):
+        for baseline in ("drf", "tetris"):
+            assert norms[label][baseline]["jct"] > 1.0, (label, baseline)
+
+    lines = [
+        "paper Fig. 17: Optimus wins under Poisson and Google-trace",
+        "arrivals (paper normalised JCT: poisson drf=2.0, tetris=1.82;",
+        " google drf=2.2, tetris=1.78), with the larger gain on the bursty",
+        "trace.",
+        "",
+    ]
+    for label, res in results.items():
+        jobs = len(next(iter(res.values())).jobs)
+        lines.append(f"-- {label} arrivals ({jobs} jobs) --")
+        lines.append(
+            f"{'scheduler':10s} {'JCT(h)':>8s} {'norm':>6s} "
+            f"{'makespan(h)':>12s} {'norm':>6s}"
+        )
+        for name in SCHEDULERS:
+            result = res[name]
+            lines.append(
+                f"{name:10s} {result.average_jct/3600:8.2f} "
+                f"{norms[label][name]['jct']:6.2f} "
+                f"{result.makespan/3600:12.2f} "
+                f"{norms[label][name]['makespan']:6.2f}"
+            )
+        lines.append("")
+    report("fig17_arrival_processes", lines)

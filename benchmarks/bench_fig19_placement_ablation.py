@@ -1,0 +1,48 @@
+"""Fig. 19 -- effectiveness of the task-placement algorithm.
+
+Paper: keeping Optimus's allocation but placing tasks the DRF way (load
+balancing / spreading) or the Tetris way (fragmentation-minimising packing)
+costs about 10-15% in both JCT and makespan.
+
+We run ``optimus+spread`` and ``optimus+pack`` against full Optimus.
+"""
+
+from bench_common import paper_workload, report, run_scheduler
+
+VARIANTS = ("optimus", "optimus+pack", "optimus+spread")
+
+
+def run_ablation():
+    jobs = paper_workload(seed=42)
+    return {name: run_scheduler(name, jobs=jobs, seed=7) for name in VARIANTS}
+
+
+def test_fig19_placement_ablation(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    base = results["optimus"]
+
+    ratios = {
+        name: results[name].average_jct / base.average_jct
+        for name in VARIANTS[1:]
+    }
+    # Optimus placement is never worse, and spreading (the DRF default)
+    # costs measurably more than packing, as in the paper.
+    assert all(r > 0.97 for r in ratios.values())
+    assert ratios["optimus+spread"] >= ratios["optimus+pack"] * 0.97
+
+    lines = [
+        "paper Fig. 19 (Optimus allocation everywhere, placement swapped):",
+        "normalised JCT pack(tetris)=1.1, spread(drf)=1.15;",
+        "makespan pack=1.09, spread=1.13",
+        "",
+        f"{'variant':16s} {'JCT(h)':>8s} {'norm':>6s} {'makespan(h)':>12s} {'norm':>6s}",
+    ]
+    for name in VARIANTS:
+        result = results[name]
+        lines.append(
+            f"{name:16s} {result.average_jct/3600:8.2f} "
+            f"{result.average_jct/base.average_jct:6.2f} "
+            f"{result.makespan/3600:12.2f} "
+            f"{result.makespan/base.makespan:6.2f}"
+        )
+    report("fig19_placement_ablation", lines)

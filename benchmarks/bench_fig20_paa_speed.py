@@ -1,0 +1,55 @@
+"""Fig. 20 -- ResNet-50 training speed vs #ps: PAA vs MXNet default.
+
+Paper: with 10 workers and a growing number of parameter servers
+(synchronous training), PAA's balanced assignment beats MXNet's default,
+and the gap widens as the number of parameter servers grows (imbalance
+compounds with more servers).
+"""
+
+from bench_common import report
+from repro.ps import blocks_from_sizes, mxnet_partition, paa_partition
+from repro.workloads import StepTimeModel, get_profile
+
+PS_COUNTS = (2, 4, 8, 12, 16, 20)
+WORKERS = 10
+
+
+def run_sweep():
+    profile = get_profile("resnet-50")
+    blocks = blocks_from_sizes(profile.parameter_blocks())
+    truth = StepTimeModel(profile, "sync")
+    rows = {}
+    for p in PS_COUNTS:
+        paa = paa_partition(blocks, p).imbalance_factor
+        mxnet = mxnet_partition(blocks, p, seed=1).imbalance_factor
+        rows[p] = {
+            "paa": truth.speed(p, WORKERS, imbalance=paa),
+            "mxnet": truth.speed(p, WORKERS, imbalance=mxnet),
+        }
+    return rows
+
+
+def test_fig20_paa_speed(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    # PAA is at least as fast everywhere.
+    for p, row in rows.items():
+        assert row["paa"] >= row["mxnet"] * 0.999, p
+    # The improvement grows with the number of parameter servers.
+    gain_small = rows[2]["paa"] / rows[2]["mxnet"]
+    gain_large = rows[20]["paa"] / rows[20]["mxnet"]
+    assert gain_large > gain_small
+    assert gain_large > 1.05
+
+    lines = [
+        "paper Fig. 20: ResNet-50 sync training speed with 10 workers;",
+        "PAA beats MXNet's default, especially at many parameter servers.",
+        "",
+        f"{'#ps':>4s} {'speed PAA':>10s} {'speed MXNet':>12s} {'PAA gain':>9s}",
+    ]
+    for p, row in rows.items():
+        lines.append(
+            f"{p:4d} {row['paa']:10.4f} {row['mxnet']:12.4f} "
+            f"{100*(row['paa']/row['mxnet'] - 1):8.1f}%"
+        )
+    report("fig20_paa_speed", lines)

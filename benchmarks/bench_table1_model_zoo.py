@@ -1,0 +1,52 @@
+"""Table 1 -- the nine deep-learning jobs used for tests and experiments.
+
+The zoo's *public* metadata (parameter counts, network types, application
+domains, dataset sizes) must match the paper's Table 1 exactly -- these are
+facts, not simulated quantities.
+"""
+
+from bench_common import report
+from repro.workloads import MODEL_ZOO
+
+# (params M, type, examples) straight from the paper's Table 1.
+TABLE1 = {
+    "resnext-110": (1.7, "CNN", 60_000),
+    "resnet-50": (25.0, "CNN", 1_313_788),
+    "inception-bn": (11.3, "CNN", 30_607),
+    "kaggle-ndsb": (1.4, "CNN", 37_920),
+    "cnn-rand": (6.0, "CNN", 10_662),
+    "dssm": (1.5, "RNN", 214_288),
+    "rnn-lstm": (4.7, "RNN", 1_002_000),
+    "seq2seq": (9.1, "RNN", 1_000_000),
+    "deepspeech2": (38.0, "RNN", 45_000),
+}
+
+
+def collect_zoo():
+    return {
+        name: (p.params_million, p.network_type, p.dataset_examples, p.dataset)
+        for name, p in MODEL_ZOO.items()
+    }
+
+
+def test_table1_model_zoo(benchmark):
+    zoo = benchmark.pedantic(collect_zoo, rounds=1, iterations=1)
+    assert set(zoo) == set(TABLE1)
+    for name, (params, network, examples) in TABLE1.items():
+        got_params, got_network, got_examples, _ = zoo[name]
+        assert got_params == params, name
+        assert got_network == network, name
+        assert got_examples == examples, name
+
+    lines = [
+        "paper Table 1, reproduced exactly:",
+        "",
+        f"{'model':14s} {'params(M)':>9s} {'type':>5s} {'dataset':>22s} "
+        f"{'examples':>10s}",
+    ]
+    for name, (params, network, examples, dataset) in zoo.items():
+        lines.append(
+            f"{name:14s} {params:9.1f} {network:>5s} {dataset:>22s} "
+            f"{examples:10d}"
+        )
+    report("table1_model_zoo", lines)

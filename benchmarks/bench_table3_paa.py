@@ -1,0 +1,58 @@
+"""Table 3 -- parameter distribution: PAA vs MXNet's default.
+
+Paper (ResNet-50, 25M parameters in 157 blocks, 10 parameter servers):
+
+    algorithm  size diff  request diff  total requests
+    MXNet      3.6M       43            247
+    PAA        0.1M       1             157
+
+Shape to hold: PAA's size difference is tiny (~0.1M), its request
+difference ~1 and its total requests near the 157-block minimum, while the
+MXNet default is far worse on all three.
+"""
+
+from bench_common import report
+from repro.ps import blocks_from_sizes, mxnet_partition, paa_partition
+from repro.workloads import get_profile
+
+
+def run_partitions():
+    profile = get_profile("resnet-50")
+    blocks = blocks_from_sizes(profile.parameter_blocks())
+    mx = mxnet_partition(blocks, 10, seed=1)
+    pa = paa_partition(blocks, 10)
+    return blocks, mx, pa
+
+
+def test_table3_paa(benchmark):
+    blocks, mx, pa = benchmark.pedantic(run_partitions, rounds=1, iterations=1)
+
+    assert len(blocks) == 157  # ResNet-50's block count, as in the paper
+
+    # PAA side of Table 3.
+    assert pa.size_difference < 0.3e6
+    assert pa.request_difference <= 2
+    assert pa.total_requests <= 160
+
+    # MXNet side: strictly worse everywhere.
+    assert mx.size_difference > 1.5e6
+    assert mx.request_difference >= 5
+    assert mx.total_requests > pa.total_requests
+
+    lines = [
+        "paper Table 3 (ResNet-50, 157 blocks, 10 ps):",
+        "  MXNet: size diff 3.6M, request diff 43, total requests 247",
+        "  PAA  : size diff 0.1M, request diff 1,  total requests 157",
+        "",
+        f"{'algorithm':>10s} {'size diff':>11s} {'req diff':>9s} "
+        f"{'total reqs':>11s} {'imbalance':>10s}",
+    ]
+    for assignment in (mx, pa):
+        lines.append(
+            f"{assignment.algorithm:>10s} "
+            f"{assignment.size_difference/1e6:9.2f} M "
+            f"{assignment.request_difference:9d} "
+            f"{assignment.total_requests:11d} "
+            f"{assignment.imbalance_factor:10.2f}"
+        )
+    report("table3_paa", lines)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Capacity planning with the simulator: how many servers does a workload need?
+
+A downstream use of the reproduction beyond the paper's own experiments:
+sweep the cluster size for a fixed workload under Optimus, watch makespan
+and utilisation, and find the knee where extra servers stop paying for
+themselves.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import Cluster, SimConfig, cpu_mem, make_scheduler, simulate
+from repro.report import format_table, sparkline
+from repro.workloads import uniform_arrivals
+
+SERVER_COUNTS = (6, 9, 13, 18, 24)
+
+
+def main() -> None:
+    jobs = uniform_arrivals(num_jobs=9, window=12_000, seed=42)
+    print(f"workload: {len(jobs)} jobs over {12_000/3600:.1f} h "
+          f"(the paper's §6.1 recipe)\n")
+
+    rows = []
+    makespans = []
+    for servers in SERVER_COUNTS:
+        cluster = Cluster.homogeneous(servers, cpu_mem(16, 80))
+        result = simulate(
+            cluster, make_scheduler("optimus"), jobs, SimConfig(seed=7)
+        )
+        rows.append(
+            [
+                servers,
+                result.average_jct / 3600,
+                result.makespan / 3600,
+                result.mean_running_tasks(),
+                result.mean_worker_utilization(),
+            ]
+        )
+        makespans.append(result.makespan)
+
+    print(
+        format_table(
+            ["servers", "avg JCT (h)", "makespan (h)", "mean tasks", "worker util"],
+            rows,
+        )
+    )
+    print(f"\nmakespan vs cluster size: {sparkline(makespans)}")
+
+    # The knee: the first size whose marginal makespan gain drops under 10%.
+    knee = SERVER_COUNTS[-1]
+    for i in range(1, len(SERVER_COUNTS)):
+        gain = (makespans[i - 1] - makespans[i]) / makespans[i - 1]
+        if gain < 0.10:
+            knee = SERVER_COUNTS[i - 1]
+            break
+    print(
+        f"suggested fleet size: ~{knee} servers "
+        f"(beyond it, adding servers improves makespan by <10%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Online performance modelling of one training job (§3 of the paper).
+
+Streams noisy loss observations from a simulated Seq2Seq training run into
+the convergence estimator, profiles a handful of (ps, workers)
+configurations into the speed estimator, and shows both models sharpening:
+
+* the predicted total epochs to convergence approaches the truth (Fig. 6/7);
+* the fitted speed function tracks the measured surface (Fig. 8/9).
+
+Run:  python examples/online_fitting_demo.py
+"""
+
+from repro import ConvergenceEstimator, SpeedEstimator
+from repro.workloads import LossEmitter, StepTimeModel, make_job
+
+
+def convergence_demo() -> None:
+    job = make_job("seq2seq", mode="sync", threshold=0.002)
+    spe = job.steps_per_epoch()
+    true_epochs = job.profile.loss.epochs_to_converge(job.threshold, job.patience)
+    emitter = LossEmitter(job.profile.loss, spe, seed=11)
+    estimator = ConvergenceEstimator(threshold=job.threshold, steps_per_epoch=spe)
+
+    print(f"--- §3.1 convergence estimation ({job.model_name}) ---")
+    print(f"ground truth: converges after {true_epochs} epochs")
+    fed = 0
+    for progress in (0.1, 0.25, 0.5, 0.75):
+        upto = int(true_epochs * progress * spe)
+        for obs in emitter.observe_range(fed, upto, stride=200):
+            estimator.add_observation(obs.step, obs.loss)
+        fed = upto
+        fit = estimator.fit(force=True)
+        predicted = fit.epochs_to_converge(job.threshold, spe, job.patience)
+        print(
+            f"after {int(progress*100):3d}% of training: predicted "
+            f"{predicted:4d} epochs (error {100*(predicted-true_epochs)/true_epochs:+5.1f}%), "
+            f"fit b0={fit.beta0:.2e} b1={fit.beta1:.3f} b2={fit.beta2:.3f}"
+        )
+    print()
+
+
+def speed_demo() -> None:
+    job = make_job("resnet-50", mode="sync")
+    truth = StepTimeModel(job.profile, job.mode)
+    estimator = SpeedEstimator(job.mode, global_batch=job.profile.global_batch)
+
+    print(f"--- §3.2 resource->speed estimation ({job.model_name}) ---")
+    configs = estimator.bootstrap(
+        measure=lambda p, w: truth.measured_speed(p, w, seed=p * 31 + w),
+        num_samples=5,
+        seed=3,
+    )
+    print(f"profiled configurations: {configs}")
+    print(f"{'(p, w)':>8s} {'true speed':>11s} {'predicted':>10s} {'error':>7s}")
+    for p, w in ((2, 2), (6, 10), (12, 8), (16, 16)):
+        true = truth.speed(p, w)
+        predicted = estimator.predict(p, w)
+        print(
+            f"({p:2d},{w:3d}) {true:11.4f} {predicted:10.4f} "
+            f"{100*(predicted-true)/true:+6.1f}%"
+        )
+
+    # The scheduler's actual question: where do marginal gains die?
+    surface = {(p, w): estimator.predict(p, w) for p in range(1, 21) for w in range(1, 21)}
+    (best_p, best_w) = max(surface, key=surface.get)
+    print(
+        f"fitted optimum at p={best_p}, w={best_w} "
+        f"(true speed there: {truth.speed(best_p, best_w):.4f} steps/s)"
+    )
+
+
+if __name__ == "__main__":
+    convergence_demo()
+    speed_demo()

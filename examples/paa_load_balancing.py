@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Parameter-server load balancing with PAA (§5.3 of the paper).
+
+Compares the paper's Parameter Assignment Algorithm against MXNet's default
+threshold-based partitioner on ResNet-50's 157 parameter blocks (Table 3)
+and shows how the resulting imbalance translates into training speed as the
+number of parameter servers grows (Fig. 20).
+
+Run:  python examples/paa_load_balancing.py
+"""
+
+from repro.ps import blocks_from_sizes, mxnet_partition, paa_partition
+from repro.workloads import StepTimeModel, get_profile
+
+
+def main() -> None:
+    profile = get_profile("resnet-50")
+    blocks = blocks_from_sizes(profile.parameter_blocks())
+    print(
+        f"{profile.name}: {profile.params_million:.0f}M parameters in "
+        f"{len(blocks)} blocks (largest {max(b.size for b in blocks)/1e6:.2f}M)"
+    )
+    print()
+
+    print("Table-3 style comparison at 10 parameter servers:")
+    print(f"{'algorithm':>10s} {'size diff':>11s} {'req diff':>9s} {'total reqs':>11s}")
+    for assignment in (
+        mxnet_partition(blocks, 10, seed=1),
+        paa_partition(blocks, 10),
+    ):
+        print(
+            f"{assignment.algorithm:>10s} "
+            f"{assignment.size_difference/1e6:9.2f} M "
+            f"{assignment.request_difference:9d} "
+            f"{assignment.total_requests:11d}"
+        )
+    print()
+
+    print("Fig-20 style speed sweep (synchronous, 10 workers):")
+    truth = StepTimeModel(profile, "sync")
+    print(f"{'#ps':>4s} {'PAA speed':>10s} {'MXNet speed':>12s} {'gain':>7s}")
+    for p in (2, 4, 8, 12, 16, 20):
+        paa = truth.speed(p, 10, imbalance=paa_partition(blocks, p).imbalance_factor)
+        mx = truth.speed(
+            p, 10, imbalance=mxnet_partition(blocks, p, seed=1).imbalance_factor
+        )
+        print(f"{p:4d} {paa:10.4f} {mx:12.4f} {100*(paa/mx-1):+6.1f}%")
+
+    print()
+    print("per-server load under each algorithm (10 ps):")
+    for assignment in (
+        mxnet_partition(blocks, 10, seed=1),
+        paa_partition(blocks, 10),
+    ):
+        loads = " ".join(
+            f"{s.assigned_size/1e6:5.2f}M" for s in assignment.servers
+        )
+        print(f"  {assignment.algorithm:>6s}: {loads}")
+
+
+if __name__ == "__main__":
+    main()

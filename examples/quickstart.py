@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a day of deep-learning jobs with Optimus.
+
+Builds a 13-server cluster (the paper's testbed scale), submits 9 random
+Table-1 training jobs over a 12 000-second window, and compares Optimus
+against the DRF fairness baseline and Tetris -- the paper's Fig-11
+experiment at demo scale.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, SimConfig, cpu_mem, make_scheduler, simulate
+from repro.workloads import uniform_arrivals
+
+
+def main() -> None:
+    jobs = uniform_arrivals(num_jobs=9, window=12_000, seed=42)
+    print(f"submitting {len(jobs)} jobs:")
+    for job in jobs:
+        print(
+            f"  {job.job_id:24s} mode={job.mode:5s} "
+            f"threshold={job.threshold:.4f} arrives at t={job.arrival_time:7.0f}s"
+        )
+    print()
+
+    results = {}
+    for name in ("optimus", "drf", "tetris"):
+        cluster = Cluster.homogeneous(13, cpu_mem(16, 80))
+        results[name] = simulate(
+            cluster, make_scheduler(name), jobs, SimConfig(seed=7)
+        )
+
+    base = results["optimus"]
+    print(f"{'scheduler':10s} {'avg JCT':>10s} {'norm':>6s} {'makespan':>10s} {'norm':>6s}")
+    for name, result in results.items():
+        print(
+            f"{name:10s} {result.average_jct/3600:9.2f}h "
+            f"{result.average_jct/base.average_jct:6.2f} "
+            f"{result.makespan/3600:9.2f}h "
+            f"{result.makespan/base.makespan:6.2f}"
+        )
+
+    print()
+    print("per-job completions under Optimus:")
+    for record in sorted(base.jobs.values(), key=lambda r: r.arrival_time):
+        print(
+            f"  {record.job_id:24s} JCT {record.jct/3600:6.2f}h "
+            f"({record.num_scalings} rescalings, "
+            f"{record.chunks_moved} data chunks moved)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Post-hoc analysis of a simulation: export, reload, chart in the terminal.
+
+Runs the Fig-11 comparison, serialises every result to JSON (the same
+format ``python -m repro simulate --json`` emits), then reloads the data
+and renders JCT distributions, utilisation summaries and task timelines
+with the plain-text charting helpers -- the workflow a user would follow to
+analyse their own experiments offline.
+
+Run:  python examples/result_analysis.py
+"""
+
+import json
+import statistics
+import tempfile
+from pathlib import Path
+
+from repro import Cluster, SimConfig, cpu_mem, make_scheduler, simulate
+from repro.report import bar_chart, format_table, result_to_json, sparkline
+from repro.workloads import uniform_arrivals
+
+
+def run_and_export(outdir: Path) -> dict:
+    jobs = uniform_arrivals(num_jobs=9, window=12_000, seed=42)
+    paths = {}
+    for name in ("optimus", "drf", "tetris"):
+        cluster = Cluster.homogeneous(13, cpu_mem(16, 80))
+        result = simulate(cluster, make_scheduler(name), jobs, SimConfig(seed=7))
+        path = outdir / f"{name}.json"
+        path.write_text(result_to_json(result))
+        paths[name] = path
+    return paths
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        outdir = Path(tmp)
+        paths = run_and_export(outdir)
+        print(f"exported {len(paths)} result files to {outdir}\n")
+
+        data = {name: json.loads(path.read_text()) for name, path in paths.items()}
+
+        # Headline table, straight from the JSON.
+        rows = []
+        for name, payload in data.items():
+            summary = payload["summary"]
+            rows.append(
+                [
+                    name,
+                    summary["average_jct"] / 3600,
+                    summary["makespan"] / 3600,
+                    summary["worker_utilization"],
+                ]
+            )
+        print(format_table(
+            ["scheduler", "avg JCT (h)", "makespan (h)", "worker util"], rows
+        ))
+        print()
+
+        # Per-job JCT distribution for Optimus.
+        jcts = sorted(
+            job["jct"] / 3600
+            for job in data["optimus"]["jobs"]
+            if job["jct"] is not None
+        )
+        quantiles = statistics.quantiles(jcts, n=4)
+        print(
+            f"Optimus JCT quartiles (h): "
+            f"p25={quantiles[0]:.2f} p50={quantiles[1]:.2f} p75={quantiles[2]:.2f}"
+        )
+        print(bar_chart(
+            [(job["job_id"].split("-", 2)[-1], job["jct"] / 3600)
+             for job in data["optimus"]["jobs"] if job["jct"]],
+            width=30,
+            unit="h",
+        ))
+        print()
+
+        # Task timelines (Fig-14 style) from the serialised slots.
+        print("running-task timelines:")
+        for name, payload in data.items():
+            series = [slot["running_tasks"] for slot in payload["timeline"]]
+            print(f"  {name:8s} {sparkline(series)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline.
+
+The execution environment has setuptools but no `wheel` package and no
+network access, which breaks PEP-517 editable installs; this file lets pip
+fall back to `setup.py develop`. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

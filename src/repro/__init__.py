@@ -1,0 +1,125 @@
+"""Reproduction of *Optimus: An Efficient Dynamic Resource Scheduler for
+Deep Learning Clusters* (Peng et al., EuroSys 2018).
+
+Quickstart
+----------
+>>> from repro import Cluster, cpu_mem, make_scheduler, simulate, SimConfig
+>>> from repro import uniform_arrivals
+>>> cluster = Cluster.homogeneous(13, cpu_mem(16, 80))
+>>> jobs = uniform_arrivals(num_jobs=9, seed=1)
+>>> result = simulate(cluster, make_scheduler("optimus"), jobs, SimConfig(seed=1))
+>>> result.all_finished
+True
+
+Package map
+-----------
+* :mod:`repro.core` -- the paper's contribution: convergence/speed
+  estimators, marginal-gain allocation, task placement.
+* :mod:`repro.schedulers` -- Optimus, DRF, Tetris, FIFO and ablation hybrids.
+* :mod:`repro.sim` -- the discrete-time cluster simulator and experiment
+  harness.
+* :mod:`repro.workloads` -- Table-1 model zoo, loss/speed ground truth, job
+  specs and arrival processes.
+* :mod:`repro.fitting` -- NNLS and the Eqn-1/3/4 fitters.
+* :mod:`repro.ps` -- parameter-block partitioning (PAA vs. MXNet default).
+* :mod:`repro.cluster`, :mod:`repro.datastore`, :mod:`repro.k8s` -- the
+  cluster, HDFS-like and Kubernetes-like substrates.
+"""
+
+from repro.cluster import Cluster, ResourceVector, Server, cpu_mem
+from repro.core import (
+    AllocationRequest,
+    ConvergenceEstimator,
+    PlacementRequest,
+    SpeedEstimator,
+    TaskAllocation,
+    allocate,
+    place_jobs,
+)
+from repro.fitting import fit_loss_curve, fit_speed_model, nnls
+from repro.ps import mxnet_partition, paa_partition
+from repro.schedulers import (
+    DRFScheduler,
+    FIFOScheduler,
+    JobView,
+    OptimusScheduler,
+    Scheduler,
+    SchedulingDecision,
+    TetrisScheduler,
+    make_scheduler,
+)
+from repro.sim import (
+    SimConfig,
+    Simulation,
+    SimulationResult,
+    StragglerConfig,
+    compare_schedulers,
+    normalized,
+    simulate,
+)
+from repro.workloads import (
+    MODEL_ZOO,
+    JobSpec,
+    LossEmitter,
+    ModelProfile,
+    StepTimeModel,
+    get_profile,
+    google_trace_arrivals,
+    make_job,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # cluster
+    "Cluster",
+    "Server",
+    "ResourceVector",
+    "cpu_mem",
+    # core
+    "ConvergenceEstimator",
+    "SpeedEstimator",
+    "AllocationRequest",
+    "TaskAllocation",
+    "allocate",
+    "PlacementRequest",
+    "place_jobs",
+    # fitting
+    "nnls",
+    "fit_loss_curve",
+    "fit_speed_model",
+    # ps
+    "paa_partition",
+    "mxnet_partition",
+    # schedulers
+    "Scheduler",
+    "JobView",
+    "SchedulingDecision",
+    "OptimusScheduler",
+    "DRFScheduler",
+    "TetrisScheduler",
+    "FIFOScheduler",
+    "make_scheduler",
+    # sim
+    "SimConfig",
+    "Simulation",
+    "simulate",
+    "SimulationResult",
+    "StragglerConfig",
+    "compare_schedulers",
+    "normalized",
+    # workloads
+    "MODEL_ZOO",
+    "ModelProfile",
+    "get_profile",
+    "JobSpec",
+    "make_job",
+    "LossEmitter",
+    "StepTimeModel",
+    "uniform_arrivals",
+    "poisson_arrivals",
+    "google_trace_arrivals",
+]

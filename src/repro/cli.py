@@ -1,0 +1,334 @@
+"""Command-line interface: ``optimus-repro`` / ``python -m repro``.
+
+Subcommands:
+
+* ``compare`` -- run the Fig-11 style scheduler comparison.
+* ``simulate`` -- run one full simulation and dump metrics (optionally JSON).
+* ``scalability`` -- time a scheduling round at cluster scale (Fig 12).
+* ``models`` -- print the Table-1 model zoo with ground-truth dynamics.
+* ``partition`` -- print the Table-3 style PAA-vs-MXNet comparison.
+* ``speed`` -- print a model's speed surface over (p, w).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.cluster import Cluster, cpu_mem
+from repro.common.units import format_duration
+from repro.ps import blocks_from_sizes, mxnet_partition, paa_partition
+from repro.report import bar_chart, format_table, result_to_json, sparkline
+from repro.sim import (
+    SimConfig,
+    StragglerConfig,
+    compare_schedulers,
+    constant_load,
+    diurnal_load,
+    format_comparison,
+    simulate,
+)
+from repro.workloads import (
+    MODEL_ZOO,
+    StepTimeModel,
+    get_profile,
+    google_trace_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    print(
+        f"{'model':14s} {'params(M)':>9s} {'type':>4s} {'dataset':>22s} "
+        f"{'examples':>10s} {'epochs@ref':>10s} {'1-GPU time':>11s}"
+    )
+    for name, profile in MODEL_ZOO.items():
+        epochs = profile.loss.epochs_to_converge(0.002)
+        gpu_time = profile.single_gpu_training_time()
+        print(
+            f"{name:14s} {profile.params_million:9.1f} "
+            f"{profile.network_type:>4s} {profile.dataset:>22s} "
+            f"{profile.dataset_examples:10d} {epochs:10d} "
+            f"{format_duration(gpu_time):>11s}"
+        )
+    return 0
+
+
+def _cmd_speed(args: argparse.Namespace) -> int:
+    profile = get_profile(args.model)
+    model = StepTimeModel(profile, args.mode)
+    print(f"{args.model} ({args.mode}) training speed in steps/s:")
+    header = "     " + "".join(f"w={w:<7d}" for w in range(1, args.max_tasks + 1, 2))
+    print(header)
+    for p in range(1, args.max_tasks + 1, 2):
+        row = f"p={p:<3d}" + "".join(
+            f"{model.speed(p, w):<9.3f}" for w in range(1, args.max_tasks + 1, 2)
+        )
+        print(row)
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    profile = get_profile(args.model)
+    blocks = blocks_from_sizes(profile.parameter_blocks())
+    mx = mxnet_partition(blocks, args.num_ps, seed=args.seed)
+    pa = paa_partition(blocks, args.num_ps)
+    print(
+        f"{args.model}: {len(blocks)} blocks, "
+        f"{profile.params_million:.1f}M parameters, {args.num_ps} parameter servers"
+    )
+    print(f"{'algorithm':>10s} {'size diff':>12s} {'req diff':>9s} {'total reqs':>11s}")
+    for assignment in (mx, pa):
+        print(
+            f"{assignment.algorithm:>10s} "
+            f"{assignment.size_difference / 1e6:10.2f} M "
+            f"{assignment.request_difference:9d} "
+            f"{assignment.total_requests:11d}"
+        )
+    return 0
+
+
+def _build_workload(args: argparse.Namespace):
+    if getattr(args, "trace", None):
+        from repro.workloads import load_trace
+
+        return load_trace(args.trace)
+    if args.arrivals == "uniform":
+        return uniform_arrivals(
+            num_jobs=args.jobs, window=args.window, seed=args.seed
+        )
+    if args.arrivals == "poisson":
+        return poisson_arrivals(duration=args.window, seed=args.seed)
+    return google_trace_arrivals(
+        num_jobs=args.jobs, duration=args.window, seed=args.seed
+    )
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads import jobs_to_json
+
+    jobs = _build_workload(args)
+    payload = jobs_to_json(jobs)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload)
+        print(f"wrote {len(jobs)} jobs to {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.schedulers import make_scheduler
+
+    jobs = _build_workload(args)
+    background = None
+    if args.background == "constant":
+        background = constant_load(args.background_fraction)
+    elif args.background == "diurnal":
+        background = diurnal_load(peak=args.background_fraction)
+    config = SimConfig(
+        seed=args.seed,
+        estimator_mode=args.estimator,
+        partition_algorithm=args.partition,
+        stragglers=StragglerConfig(rate=args.straggler_rate),
+        background_load=background,
+    )
+    cluster = Cluster.homogeneous(args.servers, cpu_mem(16, 80))
+    result = simulate(cluster, make_scheduler(args.scheduler), jobs, config)
+
+    if args.json:
+        print(result_to_json(result))
+        return 0
+
+    summary = result.summary()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["scheduler", result.scheduler_name],
+                ["jobs finished", f"{int(summary['finished'])}/{int(summary['jobs'])}"],
+                ["average JCT (h)", summary["average_jct"] / 3600],
+                ["makespan (h)", summary["makespan"] / 3600],
+                ["mean running tasks", summary["mean_running_tasks"]],
+                ["worker utilisation", summary["worker_utilization"]],
+                ["ps utilisation", summary["ps_utilization"]],
+                ["scaling overhead", summary["scaling_overhead_fraction"]],
+            ],
+        )
+    )
+    tasks = [slot.running_tasks for slot in result.timeline]
+    if tasks:
+        print(f"\nrunning tasks over time: {sparkline(tasks)}")
+    print("\nper-job completion times:")
+    rows = [
+        (record.job_id, record.jct / 3600)
+        for record in sorted(result.jobs.values(), key=lambda r: r.arrival_time)
+        if record.finished
+    ]
+    print(bar_chart(rows, width=30, unit="h"))
+    return 0
+
+
+def _cmd_scalability(args: argparse.Namespace) -> int:
+    from repro.cluster.resources import ResourceVector
+    from repro.core.allocation import AllocationRequest, allocate
+    from repro.core.placement import PlacementRequest, place_jobs
+
+    demand = cpu_mem(5, 10)
+
+    def speed(p, w):
+        return w / (2.0 + 3.0 * w / p + 0.02 * w + 0.01 * p)
+
+    rows = []
+    for nodes, jobs in zip(args.nodes, args.job_counts):
+        capacity = ResourceVector({"cpu": 16 * nodes, "memory": 80 * nodes})
+        requests = [
+            AllocationRequest(
+                f"j{i}", 1e5 * (1 + i % 7), speed, demand, demand,
+                max_workers=14, max_ps=14,
+            )
+            for i in range(jobs)
+        ]
+        start = time.perf_counter()
+        allocation = allocate(requests, capacity)
+        cluster = Cluster.homogeneous(nodes, cpu_mem(16, 80))
+        placement_requests = [
+            PlacementRequest(j, a.workers, a.ps, demand, demand)
+            for j, a in allocation.allocations.items()
+        ]
+        placement = place_jobs(cluster, placement_requests)
+        elapsed = time.perf_counter() - start
+        tasks = sum(a.total for a in allocation.allocations.values())
+        rows.append([nodes, jobs, tasks, len(placement.layouts), elapsed])
+    print(format_table(["nodes", "jobs", "tasks", "placed", "seconds"], rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    def cluster_factory() -> Cluster:
+        return Cluster.homogeneous(args.servers, cpu_mem(16, 80))
+
+    def workload(repeat: int):
+        return uniform_arrivals(
+            num_jobs=args.jobs, window=args.window, seed=args.seed + repeat
+        )
+
+    config = SimConfig(seed=args.seed, estimator_mode=args.estimator)
+    stats = compare_schedulers(
+        cluster_factory,
+        args.schedulers,
+        workload,
+        config=config,
+        repeats=args.repeats,
+    )
+    print(format_comparison(stats, baseline=args.schedulers[0]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="optimus-repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    models = sub.add_parser("models", help="print the Table-1 model zoo")
+    models.set_defaults(func=_cmd_models)
+
+    speed = sub.add_parser("speed", help="print a model's speed surface")
+    speed.add_argument("model", choices=sorted(MODEL_ZOO))
+    speed.add_argument("--mode", choices=("sync", "async"), default="sync")
+    speed.add_argument("--max-tasks", type=int, default=15)
+    speed.set_defaults(func=_cmd_speed)
+
+    partition = sub.add_parser(
+        "partition", help="compare PAA vs MXNet parameter assignment"
+    )
+    partition.add_argument("model", choices=sorted(MODEL_ZOO))
+    partition.add_argument("--num-ps", type=int, default=10)
+    partition.add_argument("--seed", type=int, default=0)
+    partition.set_defaults(func=_cmd_partition)
+
+    workload = sub.add_parser(
+        "workload", help="generate a workload trace (JSON) for later replay"
+    )
+    workload.add_argument("--jobs", type=int, default=9)
+    workload.add_argument("--window", type=float, default=12_000.0)
+    workload.add_argument(
+        "--arrivals", choices=("uniform", "poisson", "google"), default="uniform"
+    )
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--output", help="file to write (stdout if omitted)")
+    workload.set_defaults(func=_cmd_workload, trace=None)
+
+    simulate_cmd = sub.add_parser("simulate", help="run one full simulation")
+    simulate_cmd.add_argument(
+        "--trace", help="replay a workload trace file instead of generating one"
+    )
+    simulate_cmd.add_argument("--scheduler", default="optimus")
+    simulate_cmd.add_argument("--jobs", type=int, default=9)
+    simulate_cmd.add_argument("--servers", type=int, default=13)
+    simulate_cmd.add_argument("--window", type=float, default=12_000.0)
+    simulate_cmd.add_argument(
+        "--arrivals", choices=("uniform", "poisson", "google"), default="uniform"
+    )
+    simulate_cmd.add_argument("--seed", type=int, default=0)
+    simulate_cmd.add_argument(
+        "--estimator", choices=("online", "oracle", "noisy"), default="online"
+    )
+    simulate_cmd.add_argument(
+        "--partition", choices=("paa", "mxnet"), default="paa"
+    )
+    simulate_cmd.add_argument("--straggler-rate", type=float, default=0.0)
+    simulate_cmd.add_argument(
+        "--background", choices=("none", "constant", "diurnal"), default="none"
+    )
+    simulate_cmd.add_argument("--background-fraction", type=float, default=0.5)
+    simulate_cmd.add_argument(
+        "--json", action="store_true", help="dump the full result as JSON"
+    )
+    simulate_cmd.set_defaults(func=_cmd_simulate)
+
+    scalability = sub.add_parser(
+        "scalability", help="time scheduling rounds at cluster scale (Fig 12)"
+    )
+    scalability.add_argument(
+        "--nodes", type=int, nargs="+", default=[1000, 4000, 16000]
+    )
+    scalability.add_argument(
+        "--job-counts", type=int, nargs="+", default=[250, 1000, 4000]
+    )
+    scalability.set_defaults(func=_cmd_scalability)
+
+    compare = sub.add_parser("compare", help="run a scheduler comparison")
+    compare.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=["optimus", "drf", "tetris"],
+    )
+    compare.add_argument("--jobs", type=int, default=9)
+    compare.add_argument("--servers", type=int, default=13)
+    compare.add_argument("--window", type=float, default=12_000.0)
+    compare.add_argument("--repeats", type=int, default=1)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--estimator", choices=("online", "oracle", "noisy"), default="online"
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Cluster substrate: resource vectors, servers and cluster bookkeeping.
+
+This package knows nothing about deep learning; it provides the capacity
+accounting that the schedulers and the simulator are built on.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import (
+    BANDWIDTH,
+    CPU,
+    GPU,
+    MEMORY,
+    ZERO,
+    ResourceVector,
+    cpu_mem,
+)
+from repro.cluster.server import ROLE_PS, ROLE_WORKER, Server, TaskKey
+
+__all__ = [
+    "Cluster",
+    "Server",
+    "ResourceVector",
+    "cpu_mem",
+    "TaskKey",
+    "ROLE_PS",
+    "ROLE_WORKER",
+    "CPU",
+    "MEMORY",
+    "GPU",
+    "BANDWIDTH",
+    "ZERO",
+]

@@ -1,0 +1,183 @@
+"""Cluster-level resource bookkeeping.
+
+A :class:`Cluster` is an ordered collection of :class:`~repro.cluster.server.Server`
+objects plus aggregate queries that the schedulers need: total/used/free
+capacity, per-job placement lookup, dominant resource of a demand against the
+whole cluster, and snapshot/restore so "what-if" placements can be trialled
+without mutating live state.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.common.errors import CapacityError, ConfigurationError
+from repro.cluster.resources import ResourceVector, ZERO
+from repro.cluster.server import ROLE_PS, ROLE_WORKER, Server, TaskKey
+
+
+class Cluster:
+    """An inventory of servers with placement bookkeeping.
+
+    Examples
+    --------
+    >>> from repro.cluster.resources import cpu_mem
+    >>> cluster = Cluster.homogeneous(num_servers=3, capacity=cpu_mem(16, 64))
+    >>> cluster.total_capacity["cpu"]
+    48.0
+    """
+
+    def __init__(self, servers: Iterable[Server]):
+        self._servers: Dict[str, Server] = {}
+        for server in servers:
+            if server.name in self._servers:
+                raise ConfigurationError(f"duplicate server name {server.name!r}")
+            self._servers[server.name] = server
+        if not self._servers:
+            raise ConfigurationError("a cluster needs at least one server")
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        num_servers: int,
+        capacity: ResourceVector,
+        network_bandwidth: float = 125e6,
+        name_prefix: str = "node",
+    ) -> "Cluster":
+        """Build a cluster of *num_servers* identical servers."""
+        if num_servers <= 0:
+            raise ConfigurationError("num_servers must be positive")
+        return cls(
+            Server(f"{name_prefix}-{i}", capacity, network_bandwidth)
+            for i in range(num_servers)
+        )
+
+    @classmethod
+    def testbed(cls) -> "Cluster":
+        """The paper's 13-server testbed (§6.1): 7 CPU + 6 GPU servers.
+
+        CPU servers: two 8-core E5-2650 CPUs and 80 GB memory.
+        GPU servers: one 8-core E5-1660 CPU, 2 GPUs and 48 GB memory.
+        All connected through a 1 GbE switch.
+        """
+        servers: List[Server] = []
+        for i in range(7):
+            servers.append(
+                Server(
+                    f"cpu-{i}",
+                    ResourceVector({"cpu": 16, "memory": 80}),
+                    network_bandwidth=125e6,
+                )
+            )
+        for i in range(6):
+            servers.append(
+                Server(
+                    f"gpu-{i}",
+                    ResourceVector({"cpu": 8, "memory": 48, "gpu": 2}),
+                    network_bandwidth=125e6,
+                )
+            )
+        return cls(servers)
+
+    # -- inventory ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self._servers.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._servers
+
+    @property
+    def servers(self) -> Tuple[Server, ...]:
+        return tuple(self._servers.values())
+
+    @property
+    def server_names(self) -> Tuple[str, ...]:
+        return tuple(self._servers)
+
+    def server(self, name: str) -> Server:
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown server {name!r}") from None
+
+    # -- aggregates -----------------------------------------------------------
+    @property
+    def total_capacity(self) -> ResourceVector:
+        total = ZERO
+        for server in self:
+            total = total + server.capacity
+        return total
+
+    @property
+    def total_used(self) -> ResourceVector:
+        total = ZERO
+        for server in self:
+            total = total + server.used
+        return total
+
+    @property
+    def total_available(self) -> ResourceVector:
+        return self.total_capacity - self.total_used
+
+    def utilization(self, resource_type: str = "cpu") -> float:
+        cap = self.total_capacity.get(resource_type)
+        if cap <= 0:
+            return 0.0
+        return self.total_used.get(resource_type) / cap
+
+    def dominant_resource(self, demand: ResourceVector) -> Optional[str]:
+        """The dominant resource of *demand* against cluster capacity (§4.1)."""
+        return demand.dominant_resource(self.total_capacity)
+
+    def fits_in_total(self, demand: ResourceVector) -> bool:
+        """Capacity check against aggregate free resources (ignores fragmentation)."""
+        return demand.fits_within(self.total_available)
+
+    # -- placement ------------------------------------------------------------
+    def place(self, server_name: str, key: TaskKey, demand: ResourceVector) -> None:
+        self.server(server_name).place(key, demand)
+
+    def release(self, server_name: str, key: TaskKey) -> ResourceVector:
+        return self.server(server_name).release(key)
+
+    def release_job(self, job_id: str) -> int:
+        """Release every task of a job across all servers."""
+        released = 0
+        for server in self:
+            released += server.release_job(job_id)
+        return released
+
+    def job_placement(self, job_id: str) -> Dict[str, Dict[str, int]]:
+        """Map ``server_name -> {"worker": n, "ps": m}`` for a job's tasks."""
+        layout: Dict[str, Dict[str, int]] = {}
+        for server in self:
+            workers = server.task_count(job_id=job_id, role=ROLE_WORKER)
+            ps = server.task_count(job_id=job_id, role=ROLE_PS)
+            if workers or ps:
+                layout[server.name] = {ROLE_WORKER: workers, ROLE_PS: ps}
+        return layout
+
+    def placed_task_count(self, job_id: Optional[str] = None) -> int:
+        return sum(server.task_count(job_id=job_id) for server in self)
+
+    # -- what-if support --------------------------------------------------------
+    def snapshot(self) -> "Cluster":
+        """A deep, independent copy of the cluster state."""
+        return copy.deepcopy(self)
+
+    def clear(self) -> None:
+        """Release every task on every server."""
+        for server in self:
+            for key in server.task_keys:
+                server.release(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(servers={len(self)}, used={self.total_used}, "
+            f"capacity={self.total_capacity})"
+        )

@@ -1,0 +1,47 @@
+"""Shared low-level helpers used by every other ``repro`` subpackage.
+
+This package deliberately contains no scheduling logic; it only provides
+
+* :mod:`repro.common.errors` -- the exception hierarchy,
+* :mod:`repro.common.rand` -- seeded random-number plumbing,
+* :mod:`repro.common.units` -- byte/time unit helpers and formatting.
+"""
+
+from repro.common.errors import (
+    CapacityError,
+    ConfigurationError,
+    FittingError,
+    PlacementError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.common.rand import RandomSource, spawn_rng
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    format_bytes,
+    format_duration,
+    hours,
+    minutes,
+)
+
+__all__ = [
+    "CapacityError",
+    "ConfigurationError",
+    "FittingError",
+    "PlacementError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "RandomSource",
+    "spawn_rng",
+    "KB",
+    "MB",
+    "GB",
+    "format_bytes",
+    "format_duration",
+    "hours",
+    "minutes",
+]

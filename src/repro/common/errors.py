@@ -1,0 +1,45 @@
+"""Exception hierarchy for the Optimus reproduction.
+
+Every exception raised on purpose by this library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` and friends pass
+through untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised deliberately by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class CapacityError(ReproError):
+    """A resource request exceeded the capacity of a server or cluster."""
+
+
+class PlacementError(ReproError):
+    """A task placement could not be produced for the given allocation."""
+
+
+class SchedulingError(ReproError):
+    """The scheduling pipeline hit an unrecoverable inconsistency."""
+
+
+class FittingError(ReproError):
+    """A model fit could not be performed (e.g. too few data points)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-time simulator reached an invalid state."""
+
+
+class KVStoreError(ReproError):
+    """An operation on the etcd-like key/value store failed."""
+
+
+class DataStoreError(ReproError):
+    """An operation on the HDFS-like chunk store failed."""

@@ -1,0 +1,59 @@
+"""Unit constants and human-readable formatting helpers.
+
+All byte quantities in this library are plain ``float``/``int`` bytes and all
+durations are seconds; these helpers exist so call sites can say
+``128 * MB`` or ``minutes(10)`` instead of sprinkling magic numbers.
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+MILLION: int = 1_000_000
+
+#: Bytes per single-precision model parameter (float32).
+BYTES_PER_PARAM: int = 4
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return float(value) * 60.0
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return float(value) * 3600.0
+
+
+def days(value: float) -> float:
+    """Convert days to seconds."""
+    return float(value) * 86400.0
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``'128.0 MiB'``."""
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly, e.g. ``'2h 03m'`` or ``'41.2s'``."""
+    seconds = float(seconds)
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    total_minutes, secs = divmod(int(round(seconds)), 60)
+    hrs, mins = divmod(total_minutes, 60)
+    if hrs == 0:
+        return f"{mins}m {secs:02d}s"
+    if hrs < 24:
+        return f"{hrs}h {mins:02d}m"
+    d, hrs = divmod(hrs, 24)
+    return f"{d}d {hrs:02d}h"

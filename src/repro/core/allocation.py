@@ -1,0 +1,298 @@
+"""Marginal-gain resource allocation (§4.1).
+
+The exact problem (5)-(8) -- minimise the summed estimated completion times
+``Q_j / f_j(p_j, w_j)`` subject to cluster capacity -- is a non-convex
+integer program, so Optimus uses a greedy heuristic:
+
+1. give every active job 1 worker + 1 parameter server (anti-starvation);
+2. repeatedly grant one task (worker *or* parameter server, whichever helps
+   more) to the job with the largest **marginal gain**: the reduction in its
+   estimated completion time per unit of the added task's dominant resource
+   (Eqn 9);
+3. stop when resources run out or every job's marginal gain is non-positive.
+
+Jobs in their "beginning state" (few observations, large prediction error)
+can have their gain multiplied by a priority factor < 1, mildly deferring
+them until their estimates firm up (end of §4.1).
+
+The implementation keeps gains in a lazy max-heap with version stamps, so an
+allocation round over ``J`` jobs and ``T`` granted tasks costs
+``O((J + T) log J)`` speed-function evaluations -- this is what makes the
+Fig.-12 scalability result achievable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.common.errors import SchedulingError
+from repro.cluster.resources import ResourceVector
+
+#: f(p, w) -> steps/second.
+SpeedFn = Callable[[int, int], float]
+
+
+class TaskAllocation(NamedTuple):
+    """Numbers of tasks granted to one job."""
+
+    workers: int
+    ps: int
+
+    @property
+    def total(self) -> int:
+        return self.workers + self.ps
+
+
+@dataclass
+class AllocationRequest:
+    """Everything the allocator needs to know about one active job.
+
+    ``remaining_work`` is the predicted number of steps left (the ``Q_j`` of
+    §4.1); ``speed`` is the job's *fitted* speed function. ``priority``
+    scales the marginal gain (1.0 = neutral; §4.1 suggests e.g. 0.95 for
+    jobs whose predictions are still unreliable).
+    """
+
+    job_id: str
+    remaining_work: float
+    speed: SpeedFn
+    worker_demand: ResourceVector
+    ps_demand: ResourceVector
+    priority: float = 1.0
+    max_workers: int = 100
+    max_ps: int = 100
+
+    def __post_init__(self) -> None:
+        if self.remaining_work < 0:
+            raise SchedulingError("remaining_work must be non-negative")
+        if not 0 < self.priority <= 1:
+            raise SchedulingError("priority must be in (0, 1]")
+        if self.max_workers < 1 or self.max_ps < 1:
+            raise SchedulingError("task caps must be >= 1")
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One greedy step: which job received which task kind, at what gain."""
+
+    job_id: str
+    kind: str  # "worker" or "ps"
+    gain: float
+    allocation_after: TaskAllocation
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """The outcome of one allocation round."""
+
+    allocations: Dict[str, TaskAllocation]
+    #: Jobs that could not receive even the 1+1 starter allocation.
+    starved: Tuple[str, ...]
+    #: Why the greedy loop stopped: "capacity" or "gains".
+    stop_reason: str
+    #: Resources left unallocated.
+    leftover: ResourceVector
+    #: The greedy grant sequence, populated when ``allocate(trace=True)`` --
+    #: gains are non-increasing up to priority effects, which makes
+    #: decisions auditable ("why did job X get 12 tasks?").
+    grants: Tuple[Grant, ...] = ()
+
+
+def _safe_speed(fn: SpeedFn, p: int, w: int) -> float:
+    """Evaluate a fitted speed function defensively (fits can degenerate)."""
+    try:
+        value = fn(p, w)
+    except Exception:
+        return 0.0
+    if value is None or value <= 0 or value != value:  # NaN check
+        return 0.0
+    return float(value)
+
+
+def _completion_time(request: AllocationRequest, p: int, w: int) -> float:
+    speed = _safe_speed(request.speed, p, w)
+    if speed <= 0:
+        return float("inf")
+    return request.remaining_work / speed
+
+
+def estimated_time(request: AllocationRequest, allocation: TaskAllocation) -> float:
+    """Estimated completion time of *request* under *allocation* (seconds)."""
+    if allocation.workers < 1 or allocation.ps < 1:
+        return float("inf")
+    return _completion_time(request, allocation.ps, allocation.workers)
+
+
+def _dominant_amount(demand: ResourceVector, capacity: ResourceVector) -> float:
+    """Dominant-resource *share* of one task against the cluster capacity.
+
+    Eqn 9 divides the time reduction "by the amount of dominant resource";
+    we use the capacity-normalised share so that gains stay comparable when
+    workers and parameter servers dominate in different resource types
+    (e.g. GPU workers vs. CPU parameter servers).
+    """
+    share = demand.dominant_share(capacity)
+    return share if share > 0 else float("inf")
+
+
+def _marginal_gain(
+    request: AllocationRequest,
+    alloc: TaskAllocation,
+    capacity: ResourceVector,
+) -> Tuple[float, str]:
+    """Best marginal gain for the job and the task kind achieving it (Eqn 9)."""
+    base = _completion_time(request, alloc.ps, alloc.workers)
+    gain_worker = -float("inf")
+    gain_ps = -float("inf")
+    if alloc.workers < request.max_workers:
+        t_next = _completion_time(request, alloc.ps, alloc.workers + 1)
+        if base != float("inf") or t_next != float("inf"):
+            reduction = (base - t_next) if base != float("inf") else 0.0
+            gain_worker = reduction / _dominant_amount(
+                request.worker_demand, capacity
+            )
+    if alloc.ps < request.max_ps:
+        t_next = _completion_time(request, alloc.ps + 1, alloc.workers)
+        if base != float("inf") or t_next != float("inf"):
+            reduction = (base - t_next) if base != float("inf") else 0.0
+            gain_ps = reduction / _dominant_amount(request.ps_demand, capacity)
+    if gain_worker >= gain_ps:
+        return gain_worker * request.priority, "worker"
+    return gain_ps * request.priority, "ps"
+
+
+def allocate(
+    requests: Iterable[AllocationRequest],
+    capacity: ResourceVector,
+    max_total_tasks: Optional[int] = None,
+    trace: bool = False,
+) -> AllocationResult:
+    """Run one §4.1 allocation round over the active jobs.
+
+    Parameters
+    ----------
+    requests:
+        Active jobs, in submission order (starter allocations are handed out
+        in this order when capacity is scarce).
+    capacity:
+        Total cluster capacity (constraint (7) is aggregate; fragmentation
+        is the placement algorithm's problem, §4.2).
+    max_total_tasks:
+        Optional safety valve on the number of greedy grants.
+
+    Returns
+    -------
+    AllocationResult
+        Jobs that could not get the 1+1 starter allocation are listed in
+        ``starved`` and receive no tasks (they will be retried next
+        interval, §4.2's pausing behaviour).
+    """
+    requests = list(requests)
+    seen = set()
+    for request in requests:
+        if request.job_id in seen:
+            raise SchedulingError(f"duplicate job id {request.job_id!r}")
+        seen.add(request.job_id)
+
+    used = ResourceVector()
+    allocations: Dict[str, TaskAllocation] = {}
+    starved: List[str] = []
+    active: Dict[str, AllocationRequest] = {}
+
+    def fits(demand: ResourceVector) -> bool:
+        return (used + demand).fits_within(capacity)
+
+    # Phase 1: anti-starvation starter allocations.
+    for request in requests:
+        starter = request.worker_demand + request.ps_demand
+        if fits(starter):
+            used = used + starter
+            allocations[request.job_id] = TaskAllocation(workers=1, ps=1)
+            active[request.job_id] = request
+        else:
+            starved.append(request.job_id)
+
+    # Phase 2: greedy marginal-gain grants through a lazy max-heap.
+    counter = itertools.count()
+    versions: Dict[str, int] = {job_id: 0 for job_id in active}
+    heap: List[Tuple[float, int, str, str, int]] = []
+
+    def push(job_id: str) -> None:
+        request = active[job_id]
+        gain, kind = _marginal_gain(request, allocations[job_id], capacity)
+        if gain > 0 and gain != float("inf"):
+            heapq.heappush(heap, (-gain, next(counter), job_id, kind, versions[job_id]))
+
+    for job_id in active:
+        push(job_id)
+
+    granted = 0
+    stop_reason = "gains"
+    grant_log: List[Grant] = []
+    limit = max_total_tasks if max_total_tasks is not None else 10_000_000
+    while heap:
+        neg_gain, _, job_id, kind, version = heapq.heappop(heap)
+        if versions[job_id] != version:
+            continue  # stale entry
+        request = active[job_id]
+        alloc = allocations[job_id]
+        demand = request.worker_demand if kind == "worker" else request.ps_demand
+        if not fits(demand):
+            # Try the other task kind before giving up on this job.
+            other = request.ps_demand if kind == "worker" else request.worker_demand
+            if kind == "worker" and alloc.ps < request.max_ps and fits(other):
+                kind, demand = "ps", other
+            elif kind == "ps" and alloc.workers < request.max_workers and fits(other):
+                kind, demand = "worker", other
+            else:
+                continue  # job can't grow; others may still fit
+        used = used + demand
+        if kind == "worker":
+            alloc = TaskAllocation(alloc.workers + 1, alloc.ps)
+        else:
+            alloc = TaskAllocation(alloc.workers, alloc.ps + 1)
+        allocations[job_id] = alloc
+        versions[job_id] += 1
+        granted += 1
+        if trace:
+            grant_log.append(
+                Grant(
+                    job_id=job_id,
+                    kind=kind,
+                    gain=-neg_gain,
+                    allocation_after=alloc,
+                )
+            )
+        if granted >= limit:
+            stop_reason = "capacity"
+            break
+        push(job_id)
+
+    if not heap and granted < limit:
+        # Heap drained: either gains went non-positive or nothing else fit.
+        remaining = capacity - used
+        smallest = min(
+            (
+                min(
+                    r.worker_demand.dominant_share(capacity),
+                    r.ps_demand.dominant_share(capacity),
+                )
+                for r in active.values()
+            ),
+            default=0.0,
+        )
+        any_fits = any(
+            fits(r.worker_demand) or fits(r.ps_demand) for r in active.values()
+        )
+        stop_reason = "gains" if any_fits and smallest > 0 else "capacity"
+
+    return AllocationResult(
+        allocations=allocations,
+        starved=tuple(starved),
+        stop_reason=stop_reason,
+        leftover=capacity - used,
+        grants=tuple(grant_log),
+    )

@@ -1,0 +1,213 @@
+"""Online convergence estimation for one running job (§3.1).
+
+A :class:`ConvergenceEstimator` accumulates ``(step, loss)`` observations as
+the job trains, refits the Eqn-1 curve on demand (through
+:func:`repro.fitting.fit_loss_curve`, which applies the §3.1 preprocessing),
+and answers the scheduler's question: *how many more steps does this job
+need before the §2.1 stopping rule fires?*
+
+The estimator also keeps its prediction history so the Fig.-6 style
+prediction-error-vs-progress analysis can be replayed from a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.errors import FittingError
+from repro.fitting.loss_curve import MIN_POINTS, LossCurveFit, fit_loss_curve
+from repro.fitting.preprocess import subsample
+
+
+@dataclass(frozen=True)
+class ConvergencePrediction:
+    """One snapshot of the estimator's output."""
+
+    at_step: float
+    total_steps: float
+    remaining_steps: float
+
+
+class ConvergenceEstimator:
+    """Tracks one job's loss history and predicts steps to convergence.
+
+    Parameters
+    ----------
+    threshold:
+        The job owner's convergence threshold (normalised per-epoch loss
+        decrease, §2.1).
+    steps_per_epoch:
+        Conversion between steps and epochs for this job.
+    patience:
+        Consecutive below-threshold epochs required.
+    max_fit_points:
+        Observation histories longer than this are thinned before fitting
+        (§3.1's sampling advice), bounding solver cost.
+    refit_every:
+        Refit at most once per this many newly added observations; between
+        refits the cached fit is reused.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        steps_per_epoch: float,
+        patience: int = 2,
+        max_fit_points: int = 400,
+        refit_every: int = 10,
+        reset_on_drop: bool = False,
+        drop_ratio: float = 0.85,
+        drop_patience: int = 5,
+    ):
+        if threshold <= 0:
+            raise FittingError("threshold must be positive")
+        if steps_per_epoch <= 0:
+            raise FittingError("steps_per_epoch must be positive")
+        if not 0 < drop_ratio < 1:
+            raise FittingError("drop_ratio must be in (0, 1)")
+        if drop_patience < 1:
+            raise FittingError("drop_patience must be >= 1")
+        self.threshold = float(threshold)
+        self.steps_per_epoch = float(steps_per_epoch)
+        self.patience = int(patience)
+        self.max_fit_points = int(max_fit_points)
+        self.refit_every = int(refit_every)
+        #: §7 "Convergence estimation": when a learning-rate cut makes the
+        #: observed losses fall persistently below the fitted curve, treat
+        #: the rest of training as a new job and restart the fitting.
+        self.reset_on_drop = bool(reset_on_drop)
+        self.drop_ratio = float(drop_ratio)
+        self.drop_patience = int(drop_patience)
+
+        self._steps: List[float] = []
+        self._losses: List[float] = []
+        self._fit: Optional[LossCurveFit] = None
+        self._points_since_fit = 0
+        self._history: List[ConvergencePrediction] = []
+        self._below_fit_streak = 0
+        self.reset_count = 0
+        #: Step number where the current training phase began: after a
+        #: learning-rate drop the post-drop phase is fitted as a fresh job
+        #: (its own k = 0), exactly as §7 prescribes.
+        self._step_offset = 0.0
+
+    # -- data collection ----------------------------------------------------------
+    def add_observation(self, step: float, loss: float) -> None:
+        """Record one raw loss observation.
+
+        With ``reset_on_drop`` enabled, observations persistently far below
+        the fitted curve signal a learning-rate cut; the pre-drop history is
+        then discarded and fitting restarts on the new training phase (§7).
+        """
+        if loss <= 0:
+            raise FittingError("loss observations must be positive")
+        self._steps.append(float(step))
+        self._losses.append(float(loss))
+        self._points_since_fit += 1
+        if self.reset_on_drop and self._fit is not None:
+            try:
+                predicted = self._fit.predict_raw(
+                    max(float(step) - self._step_offset, 0.0)
+                )
+            except FittingError:
+                return
+            if loss < self.drop_ratio * predicted:
+                self._below_fit_streak += 1
+                if self._below_fit_streak >= self.drop_patience:
+                    self._restart_from_drop()
+            else:
+                self._below_fit_streak = 0
+
+    def _restart_from_drop(self) -> None:
+        """Discard pre-drop history; keep only the streak's observations."""
+        keep = self.drop_patience
+        self._steps = self._steps[-keep:]
+        self._losses = self._losses[-keep:]
+        self._step_offset = min(self._steps)
+        self._fit = None
+        self._points_since_fit = len(self._steps)
+        self._below_fit_streak = 0
+        self.reset_count += 1
+
+    def add_observations(self, pairs) -> None:
+        for step, loss in pairs:
+            self.add_observation(step, loss)
+
+    @property
+    def observation_count(self) -> int:
+        return len(self._steps)
+
+    @property
+    def latest_step(self) -> float:
+        return self._steps[-1] if self._steps else 0.0
+
+    # -- fitting ----------------------------------------------------------------
+    @property
+    def can_fit(self) -> bool:
+        return len(self._steps) >= MIN_POINTS
+
+    def fit(self, force: bool = False) -> LossCurveFit:
+        """The current Eqn-1 fit, refreshing it if enough new data arrived."""
+        if not self.can_fit:
+            raise FittingError(
+                f"need {MIN_POINTS} observations before fitting, "
+                f"have {len(self._steps)}"
+            )
+        stale = self._fit is None or self._points_since_fit >= self.refit_every
+        if force or stale:
+            steps, losses = subsample(
+                self._steps, self._losses, max_points=self.max_fit_points
+            )
+            # The current phase is fitted in its own step frame (k = 0 at
+            # the phase start); callers translate back via _step_offset.
+            shifted = [s - self._step_offset for s in steps]
+            self._fit = fit_loss_curve(shifted, losses)
+            self._points_since_fit = 0
+        assert self._fit is not None
+        return self._fit
+
+    # -- predictions ----------------------------------------------------------------
+    def predicted_total_steps(self) -> float:
+        """Predicted steps (from step 0) until convergence.
+
+        After a learning-rate reset the fit lives in the post-drop frame;
+        the phase offset is added back so callers keep absolute steps.
+        """
+        fit = self.fit()
+        return self._step_offset + fit.steps_to_converge(
+            self.threshold, self.steps_per_epoch, self.patience
+        )
+
+    def remaining_steps(self, current_step: Optional[float] = None) -> float:
+        """Predicted steps left from *current_step* (default: latest seen)."""
+        if current_step is None:
+            current_step = self.latest_step
+        total = self.predicted_total_steps()
+        prediction = ConvergencePrediction(
+            at_step=float(current_step),
+            total_steps=total,
+            remaining_steps=max(total - float(current_step), 0.0),
+        )
+        self._history.append(prediction)
+        return prediction.remaining_steps
+
+    @property
+    def prediction_history(self) -> Tuple[ConvergencePrediction, ...]:
+        return tuple(self._history)
+
+    def prediction_errors(self, true_total_steps: float) -> List[Tuple[float, float]]:
+        """(progress fraction, relative error) pairs, Fig.-6 style.
+
+        The error is ``(predicted_total - true_total) / true_total`` at each
+        recorded prediction, with progress measured against the true total.
+        """
+        if true_total_steps <= 0:
+            raise FittingError("true_total_steps must be positive")
+        return [
+            (
+                min(pred.at_step / true_total_steps, 1.0),
+                (pred.total_steps - true_total_steps) / true_total_steps,
+            )
+            for pred in self._history
+        ]

@@ -1,0 +1,125 @@
+"""Online resource→speed estimation for one running job (§3.2).
+
+A :class:`SpeedEstimator` owns a job's ``(p, w, speed)`` sample set. Before
+the job starts, :meth:`bootstrap` runs the paper's short profiling runs on a
+small data sample (a caller-provided ``measure`` callable stands in for the
+10-second pre-runs); during training every interval's observed speed is fed
+back through :meth:`add_sample`, continuously calibrating the fit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import FittingError
+from repro.fitting.speed_model import (
+    MIN_SAMPLES,
+    SpeedModelFit,
+    fit_speed_model,
+    sample_configurations,
+)
+from repro.workloads.speed import MODE_SYNC, validate_mode
+
+#: A profiling callable: (num_ps, num_workers) -> measured steps/second.
+MeasureFn = Callable[[int, int], float]
+
+
+class SpeedEstimator:
+    """Fits and serves the Eqn-3/Eqn-4 speed function of one job.
+
+    Parameters
+    ----------
+    mode:
+        ``"sync"`` or ``"async"``.
+    global_batch:
+        The job's fixed global batch size (required for sync).
+    max_samples:
+        Sample-set cap; the oldest samples are dropped first, so late
+        (more representative) measurements dominate the fit over time.
+    """
+
+    def __init__(
+        self,
+        mode: str,
+        global_batch: Optional[float] = None,
+        max_samples: int = 200,
+    ):
+        validate_mode(mode)
+        if mode == MODE_SYNC and (global_batch is None or global_batch <= 0):
+            raise FittingError("synchronous estimation needs a positive global_batch")
+        self.mode = mode
+        self.global_batch = float(global_batch) if global_batch else 0.0
+        self.max_samples = int(max_samples)
+        self._samples: List[Tuple[int, int, float]] = []
+        self._fit: Optional[SpeedModelFit] = None
+        self._dirty = False
+
+    # -- sample management -----------------------------------------------------
+    def add_sample(self, p: int, w: int, speed: float) -> None:
+        """Record one measured speed under configuration ``(p, w)``."""
+        if p < 1 or w < 1:
+            raise FittingError(f"invalid configuration (p={p}, w={w})")
+        if speed <= 0:
+            raise FittingError("measured speed must be positive")
+        self._samples.append((int(p), int(w), float(speed)))
+        if len(self._samples) > self.max_samples:
+            self._samples.pop(0)
+        self._dirty = True
+
+    def bootstrap(
+        self,
+        measure: MeasureFn,
+        max_ps: int = 16,
+        max_workers: int = 16,
+        num_samples: int = 5,
+        seed=None,
+    ) -> List[Tuple[int, int]]:
+        """Run the initial profiling pass (§3.2 / §6.1: 5 sample runs).
+
+        Returns the configurations that were profiled.
+        """
+        configs = sample_configurations(max_ps, max_workers, num_samples, seed=seed)
+        for p, w in configs:
+            self.add_sample(p, w, measure(p, w))
+        return configs
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Sequence[Tuple[int, int, float]]:
+        return tuple(self._samples)
+
+    # -- fitting / prediction -----------------------------------------------------
+    @property
+    def can_fit(self) -> bool:
+        return len(self._samples) >= MIN_SAMPLES[self.mode]
+
+    def fit(self, force: bool = False) -> SpeedModelFit:
+        if not self.can_fit:
+            raise FittingError(
+                f"need {MIN_SAMPLES[self.mode]} samples before fitting, "
+                f"have {len(self._samples)}"
+            )
+        if force or self._dirty or self._fit is None:
+            self._fit = fit_speed_model(
+                self._samples,
+                self.mode,
+                global_batch=self.global_batch if self.mode == MODE_SYNC else None,
+            )
+            self._dirty = False
+        return self._fit
+
+    def predict(self, p: int, w: int) -> float:
+        """Predicted training speed (steps/second) for ``(p, w)``."""
+        return self.fit().predict(p, w)
+
+    def speed_function(self) -> Callable[[int, int], float]:
+        """A frozen ``f(p, w)`` closure over the *current* fit.
+
+        The allocator evaluates the speed function many times inside one
+        scheduling interval; freezing avoids refit churn mid-decision.
+        """
+        fit = self.fit()
+        return fit.predict

@@ -1,0 +1,19 @@
+"""HDFS-like data serving substrate (§5.1)."""
+
+from repro.datastore.hdfs import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_REPLICATION,
+    Chunk,
+    ChunkAssignment,
+    ChunkStore,
+    DataFile,
+)
+
+__all__ = [
+    "Chunk",
+    "DataFile",
+    "ChunkStore",
+    "ChunkAssignment",
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_REPLICATION",
+]

@@ -1,0 +1,5 @@
+"""Deployment-mode plumbing: the §5.5 poll/schedule/reconcile loop."""
+
+from repro.deploy.loop import ControlLoop, StepReport, cluster_from_api
+
+__all__ = ["ControlLoop", "StepReport", "cluster_from_api"]

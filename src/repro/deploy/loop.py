@@ -1,0 +1,145 @@
+"""The deployment control loop (§5.5).
+
+In the paper, Optimus runs as a pod that *polls the Kubernetes master for
+cluster information and job states*, makes a decision each scheduling
+interval and applies it through pod operations. :class:`ControlLoop` is
+that cycle over the in-process substrate:
+
+1. snapshot the cluster from the API server's node/pod state (capacity
+   minus any pods the loop does not manage -- other tenants' workloads);
+2. run the configured scheduler on the caller-provided job views;
+3. reconcile the decision through the
+   :class:`~repro.k8s.controller.JobController` (checkpoint-based scaling).
+
+The loop is deliberately passive about *training state*: callers supply the
+:class:`~repro.schedulers.base.JobView` list and per-job progress, which in
+a real deployment come from the framework's metrics stream (and in this
+repository from :mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.server import Server
+from repro.common.errors import SchedulingError
+from repro.k8s.api import APIServer
+from repro.k8s.controller import JobController, JobTarget, ReconcileReport
+from repro.schedulers.base import JobView, Scheduler, SchedulingDecision
+
+
+def cluster_from_api(
+    api: APIServer, managed_jobs: Optional[set] = None
+) -> Cluster:
+    """Build a scheduling-ready :class:`Cluster` from API-server state.
+
+    Managed jobs' pods are *excluded* (the controller re-places them every
+    interval, §5.4); any other bound pods -- other tenants, system daemons
+    -- are carried over as occupied capacity.
+    """
+    nodes = api.list_nodes()
+    if not nodes:
+        raise SchedulingError("the API server has no registered nodes")
+    servers = [Server(node.name, node.capacity) for node in nodes]
+    cluster = Cluster(servers)
+    managed = managed_jobs or set()
+    for pod in api.list_pods():
+        if pod.node is None or pod.job_id in managed:
+            continue
+        cluster.place(pod.node, (pod.job_id, pod.role, pod.index), pod.demand)
+    return cluster
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """Everything one control-loop step decided and did."""
+
+    decision: SchedulingDecision
+    reconcile: ReconcileReport
+    #: Jobs that received no placement this interval (paused, §4.2).
+    paused: Tuple[str, ...]
+
+
+class ControlLoop:
+    """Poll → schedule → reconcile, once per scheduling interval."""
+
+    def __init__(
+        self,
+        api: APIServer,
+        scheduler: Scheduler,
+        controller: Optional[JobController] = None,
+    ):
+        self.api = api
+        self.scheduler = scheduler
+        self.controller = controller or JobController(api)
+        #: Jobs this loop has ever managed and may therefore tear down;
+        #: other tenants' pods are off-limits (§7 "Various workloads").
+        self._known_jobs: set = set()
+
+    def step(
+        self,
+        views: Sequence[JobView],
+        progress: Optional[Mapping[str, float]] = None,
+    ) -> StepReport:
+        """Run one scheduling interval for the given active jobs.
+
+        Parameters
+        ----------
+        views:
+            Scheduler-facing snapshots of the active jobs (§3 estimates).
+        progress:
+            Per-job progress (steps done), persisted into checkpoints when
+            jobs are rescaled or torn down.
+        """
+        managed = {view.job_id for view in views}
+        cluster = cluster_from_api(self.api, managed_jobs=managed)
+        decision = self.scheduler.schedule(cluster, views)
+
+        targets = []
+        by_id = {view.job_id: view for view in views}
+        for job_id, layout in decision.layouts.items():
+            view = by_id[job_id]
+            targets.append(
+                JobTarget(
+                    job_id=job_id,
+                    worker_demand=view.spec.worker_demand,
+                    ps_demand=view.spec.ps_demand,
+                    layout=dict(layout),
+                )
+            )
+        report = self.controller.reconcile(
+            targets,
+            job_progress=dict(progress or {}),
+            scope=self._known_jobs | managed,
+        )
+        self._known_jobs = managed
+        paused = tuple(
+            sorted(job_id for job_id in managed if job_id not in decision.layouts)
+        )
+        return StepReport(decision=decision, reconcile=report, paused=paused)
+
+    def drain(self, progress: Optional[Mapping[str, float]] = None) -> ReconcileReport:
+        """Tear the loop's jobs down (checkpointing state), e.g. at shutdown."""
+        report = self.controller.reconcile(
+            [], job_progress=dict(progress or {}), scope=self._known_jobs
+        )
+        self._known_jobs = set()
+        return report
+
+    def recover(self, job_ids: Sequence[str]) -> Dict[str, float]:
+        """Rebuild state after a scheduler restart (§5.5 fault tolerance).
+
+        Kubernetes restarts a failed scheduler pod automatically; job state
+        survives in etcd. A recovering loop re-adopts the given jobs (so it
+        may manage their pods again) and returns the progress recorded in
+        their checkpoints (missing checkpoints report 0.0 -- the job simply
+        restarts from scratch, which is safe).
+        """
+        adopted: Dict[str, float] = {}
+        for job_id in job_ids:
+            checkpoint = self.controller.load_checkpoint(job_id)
+            adopted[job_id] = 0.0 if checkpoint is None else checkpoint
+            self._known_jobs.add(job_id)
+        return adopted

@@ -1,0 +1,115 @@
+"""Loss-data preprocessing exactly as described in §3.1.
+
+Two passes before any model fitting:
+
+1. **Outlier removal** -- a data point is an outlier when it does not fall
+   within the range spanned by its neighbourhood: between the minimum loss of
+   the subsequent ``window`` points and the maximum loss of the previous
+   ``window`` points (the paper uses a 5-epoch window). Outliers are replaced
+   by the average of their neighbours.
+2. **Normalisation** -- divide every raw value by the maximum loss collected
+   so far (typically the first value), mapping all jobs' losses into
+   ``(0, 1]`` so one fitting configuration works across jobs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import FittingError
+
+
+def remove_outliers(
+    values: Sequence[float], window: int = 5, margin: float = 0.05
+) -> List[float]:
+    """Replace neighbourhood-range violations by the neighbourhood mean.
+
+    Parameters
+    ----------
+    values:
+        Raw loss values in collection order.
+    window:
+        Neighbourhood half-width (the paper's "5 epochs").
+    margin:
+        Relative slack on the admissible range, so ordinary mini-batch noise
+        at the range boundary is not flagged.
+    """
+    if window < 1:
+        raise FittingError("window must be >= 1")
+    if margin < 0:
+        raise FittingError("margin must be non-negative")
+    data = [float(v) for v in values]
+    n = len(data)
+    if n <= 2:
+        return data
+
+    cleaned = list(data)
+    for i in range(n):
+        prev_window = data[max(0, i - window) : i]
+        next_window = data[i + 1 : i + 1 + window]
+        if not prev_window or not next_window:
+            continue  # boundary points keep their value
+        upper = max(prev_window) * (1.0 + margin)
+        lower = min(next_window) * (1.0 - margin)
+        if data[i] > upper or data[i] < lower:
+            cleaned[i] = float(np.mean(prev_window + next_window))
+    return cleaned
+
+
+def normalize(values: Sequence[float]) -> Tuple[List[float], float]:
+    """Divide by the maximum loss collected so far.
+
+    Returns the normalised values and the scale used, so predictions can be
+    mapped back to raw units.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise FittingError("cannot normalise an empty sequence")
+    scale = max(data)
+    if scale <= 0:
+        raise FittingError("losses must contain a positive value")
+    return [v / scale for v in data], scale
+
+
+def preprocess_losses(
+    steps: Sequence[float],
+    losses: Sequence[float],
+    window: int = 5,
+    margin: float = 0.05,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Full §3.1 pipeline: outlier removal then normalisation.
+
+    Returns ``(steps, normalised_losses, scale)`` as arrays sorted by step.
+    """
+    if len(steps) != len(losses):
+        raise FittingError("steps and losses must have equal length")
+    if len(steps) == 0:
+        raise FittingError("no data points")
+    order = np.argsort(np.asarray(steps, dtype=float))
+    sorted_steps = np.asarray(steps, dtype=float)[order]
+    sorted_losses = [float(np.asarray(losses, dtype=float)[i]) for i in order]
+    cleaned = remove_outliers(sorted_losses, window=window, margin=margin)
+    normalised, scale = normalize(cleaned)
+    return sorted_steps, np.asarray(normalised), scale
+
+
+def subsample(
+    steps: Sequence[float], losses: Sequence[float], max_points: int = 500
+) -> Tuple[List[float], List[float]]:
+    """Thin a long observation history to at most *max_points* points.
+
+    §3.1: "in such a case we can sample loss data every few steps ... to
+    reduce the number of data points fed into the solver". Keeps the first
+    and last points and a uniform stride in between.
+    """
+    if max_points < 2:
+        raise FittingError("max_points must be >= 2")
+    n = len(steps)
+    if n != len(losses):
+        raise FittingError("steps and losses must have equal length")
+    if n <= max_points:
+        return list(steps), list(losses)
+    idx = np.unique(np.linspace(0, n - 1, max_points).round().astype(int))
+    return [steps[i] for i in idx], [losses[i] for i in idx]

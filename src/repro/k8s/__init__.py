@@ -1,0 +1,43 @@
+"""Miniature container-orchestration substrate (§5.4-5.5).
+
+An etcd-like kv store, a validating API server over nodes/pods, and a job
+controller implementing checkpoint-based elastic scaling -- the plumbing the
+real Optimus gets from Kubernetes + etcd.
+"""
+
+from repro.k8s.api import APIServer, NODE_PREFIX, POD_PREFIX
+from repro.k8s.controller import (
+    CHECKPOINT_PREFIX,
+    JobController,
+    JobTarget,
+    ReconcileReport,
+)
+from repro.k8s.kvstore import KVEvent, KVStore
+from repro.k8s.objects import (
+    PHASE_FAILED,
+    PHASE_PENDING,
+    PHASE_RUNNING,
+    PHASE_SUCCEEDED,
+    NodeInfo,
+    PodSpec,
+    pod_name,
+)
+
+__all__ = [
+    "KVStore",
+    "KVEvent",
+    "APIServer",
+    "NodeInfo",
+    "PodSpec",
+    "pod_name",
+    "JobController",
+    "JobTarget",
+    "ReconcileReport",
+    "NODE_PREFIX",
+    "POD_PREFIX",
+    "CHECKPOINT_PREFIX",
+    "PHASE_PENDING",
+    "PHASE_RUNNING",
+    "PHASE_SUCCEEDED",
+    "PHASE_FAILED",
+]

@@ -1,0 +1,138 @@
+"""The miniature API server (§5.5).
+
+State lives in the etcd-like :class:`~repro.k8s.kvstore.KVStore` under
+``/nodes/...`` and ``/pods/...``, exactly as Kubernetes persists its objects
+in etcd; the API server is a thin validating layer on top, with the node
+capacity accounting a real apiserver+scheduler would enforce at binding
+time. The Optimus deployment polls this API for cluster information and job
+states, as described in §5.5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.resources import ResourceVector
+from repro.common.errors import KVStoreError
+from repro.k8s.kvstore import KVStore
+from repro.k8s.objects import (
+    PHASE_PENDING,
+    PHASE_RUNNING,
+    NodeInfo,
+    PodSpec,
+)
+
+NODE_PREFIX = "/nodes/"
+POD_PREFIX = "/pods/"
+
+
+class APIServer:
+    """Validated CRUD over nodes and pods, backed by a KVStore."""
+
+    def __init__(self, store: Optional[KVStore] = None):
+        self.store = store or KVStore()
+
+    # -- nodes -------------------------------------------------------------------
+    def register_node(self, name: str, capacity: ResourceVector) -> NodeInfo:
+        key = NODE_PREFIX + name
+        if key in self.store:
+            raise KVStoreError(f"node {name!r} already registered")
+        node = NodeInfo(name=name, capacity=capacity)
+        self.store.put(key, node.to_json())
+        return node
+
+    def node(self, name: str) -> NodeInfo:
+        payload = self.store.get(NODE_PREFIX + name)
+        if payload is None:
+            raise KVStoreError(f"unknown node {name!r}")
+        return NodeInfo.from_json(payload)
+
+    def list_nodes(self) -> List[NodeInfo]:
+        return [
+            NodeInfo.from_json(payload)
+            for payload in self.store.list_prefix(NODE_PREFIX).values()
+        ]
+
+    def _save_node(self, node: NodeInfo) -> None:
+        self.store.put(NODE_PREFIX + node.name, node.to_json())
+
+    # -- pods --------------------------------------------------------------------
+    def create_pod(self, pod: PodSpec) -> PodSpec:
+        key = POD_PREFIX + pod.name
+        if key in self.store:
+            raise KVStoreError(f"pod {pod.name!r} already exists")
+        if pod.bound:
+            raise KVStoreError("pods must be created unbound; use bind_pod")
+        self.store.put(key, pod.to_json())
+        return pod
+
+    def pod(self, name: str) -> PodSpec:
+        payload = self.store.get(POD_PREFIX + name)
+        if payload is None:
+            raise KVStoreError(f"unknown pod {name!r}")
+        return PodSpec.from_json(payload)
+
+    def list_pods(
+        self, job_id: Optional[str] = None, node: Optional[str] = None
+    ) -> List[PodSpec]:
+        pods = [
+            PodSpec.from_json(payload)
+            for payload in self.store.list_prefix(POD_PREFIX).values()
+        ]
+        if job_id is not None:
+            pods = [p for p in pods if p.job_id == job_id]
+        if node is not None:
+            pods = [p for p in pods if p.node == node]
+        return pods
+
+    def bind_pod(self, pod_name: str, node_name: str) -> PodSpec:
+        """Bind a pending pod to a node, enforcing capacity."""
+        pod = self.pod(pod_name)
+        if pod.bound:
+            raise KVStoreError(f"pod {pod_name!r} is already bound to {pod.node}")
+        node = self.node(node_name)
+        if not pod.demand.fits_within(node.allocatable):
+            raise KVStoreError(
+                f"pod {pod_name!r} does not fit on node {node_name!r} "
+                f"(needs {pod.demand}, allocatable {node.allocatable})"
+            )
+        node.allocated = node.allocated + pod.demand
+        self._save_node(node)
+        pod.node = node_name
+        pod.phase = PHASE_RUNNING
+        self.store.put(POD_PREFIX + pod.name, pod.to_json())
+        return pod
+
+    def delete_pod(self, pod_name: str) -> bool:
+        """Delete a pod, releasing its node resources if bound."""
+        key = POD_PREFIX + pod_name
+        payload = self.store.get(key)
+        if payload is None:
+            return False
+        pod = PodSpec.from_json(payload)
+        if pod.bound:
+            node = self.node(pod.node)
+            node.allocated = node.allocated - pod.demand
+            self._save_node(node)
+        return self.store.delete(key)
+
+    def restart_pod(self, pod_name: str) -> PodSpec:
+        """Mark a pod restarted in place (e.g. straggler replacement, §5.2)."""
+        pod = self.pod(pod_name)
+        pod.restarts += 1
+        pod.phase = PHASE_RUNNING if pod.bound else PHASE_PENDING
+        self.store.put(POD_PREFIX + pod.name, pod.to_json())
+        return pod
+
+    # -- aggregates --------------------------------------------------------------
+    def cluster_allocated(self) -> ResourceVector:
+        total = ResourceVector()
+        for node in self.list_nodes():
+            total = total + node.allocated
+        return total
+
+    def pods_per_job(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for pod in self.list_pods():
+            counts[pod.job_id] = counts.get(pod.job_id, 0) + 1
+        return counts

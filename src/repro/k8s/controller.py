@@ -1,0 +1,187 @@
+"""The training-job controller: checkpoint-based elastic scaling (§5.4).
+
+Optimus adjusts a job's parameter-server/worker counts by checkpointing the
+model to HDFS, tearing the job's pods down and relaunching them under the
+new configuration. The controller below reconciles a *desired* state (one
+scheduling decision: per-job task counts plus a per-server layout) against
+the *actual* pods in the API server, producing exactly that
+checkpoint → delete → recreate → restore sequence, and records checkpoints
+in the kv store so a restarted scheduler can recover job states (§5.5's
+fault-tolerance story).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.resources import ResourceVector
+from repro.common.errors import KVStoreError
+from repro.k8s.api import APIServer
+from repro.k8s.objects import PodSpec, pod_name
+
+CHECKPOINT_PREFIX = "/checkpoints/"
+
+
+@dataclass(frozen=True)
+class JobTarget:
+    """Desired deployment of one job for the coming interval."""
+
+    job_id: str
+    worker_demand: ResourceVector
+    ps_demand: ResourceVector
+    #: server -> (num workers, num ps); totals define the task counts.
+    layout: Dict[str, Tuple[int, int]]
+
+    @property
+    def workers(self) -> int:
+        return sum(nw for nw, _ in self.layout.values())
+
+    @property
+    def ps(self) -> int:
+        return sum(np_ for _, np_ in self.layout.values())
+
+
+@dataclass
+class ReconcileReport:
+    """What one reconciliation pass did."""
+
+    pods_created: int = 0
+    pods_deleted: int = 0
+    checkpoints_saved: int = 0
+    checkpoints_restored: int = 0
+    jobs_scaled: Tuple[str, ...] = ()
+    #: Progress checkpoints refreshed without a rescale (fault tolerance:
+    #: a crashed scheduler recovers at most one interval of progress, §5.5).
+    progress_updates: int = 0
+
+
+class JobController:
+    """Reconciles scheduling decisions into pod operations."""
+
+    def __init__(self, api: APIServer):
+        self.api = api
+
+    # -- checkpoints --------------------------------------------------------------
+    def save_checkpoint(self, job_id: str, steps_done: float) -> None:
+        """Persist the job's training state (stand-in for the HDFS write)."""
+        self.api.store.put(
+            CHECKPOINT_PREFIX + job_id,
+            json.dumps({"job_id": job_id, "steps_done": steps_done}),
+        )
+
+    def load_checkpoint(self, job_id: str) -> Optional[float]:
+        payload = self.api.store.get(CHECKPOINT_PREFIX + job_id)
+        if payload is None:
+            return None
+        return float(json.loads(payload)["steps_done"])
+
+    def delete_checkpoint(self, job_id: str) -> bool:
+        return self.api.store.delete(CHECKPOINT_PREFIX + job_id)
+
+    # -- reconciliation ---------------------------------------------------------
+    def _current_layout(self, job_id: str) -> Dict[str, Tuple[int, int]]:
+        layout: Dict[str, List[int]] = {}
+        for pod in self.api.list_pods(job_id=job_id):
+            if pod.node is None:
+                continue
+            counts = layout.setdefault(pod.node, [0, 0])
+            counts[0 if pod.role == "worker" else 1] += 1
+        return {node: (c[0], c[1]) for node, c in layout.items()}
+
+    def _teardown_job(self, job_id: str) -> int:
+        deleted = 0
+        for pod in self.api.list_pods(job_id=job_id):
+            if self.api.delete_pod(pod.name):
+                deleted += 1
+        return deleted
+
+    def _launch_job(self, target: JobTarget) -> int:
+        created = 0
+        worker_idx = ps_idx = 0
+        for server, (n_workers, n_ps) in target.layout.items():
+            for _ in range(n_workers):
+                name = pod_name(target.job_id, "worker", worker_idx)
+                self.api.create_pod(
+                    PodSpec(
+                        name=name,
+                        job_id=target.job_id,
+                        role="worker",
+                        index=worker_idx,
+                        demand=target.worker_demand,
+                    )
+                )
+                self.api.bind_pod(name, server)
+                worker_idx += 1
+                created += 1
+            for _ in range(n_ps):
+                name = pod_name(target.job_id, "ps", ps_idx)
+                self.api.create_pod(
+                    PodSpec(
+                        name=name,
+                        job_id=target.job_id,
+                        role="ps",
+                        index=ps_idx,
+                        demand=target.ps_demand,
+                    )
+                )
+                self.api.bind_pod(name, server)
+                ps_idx += 1
+                created += 1
+        return created
+
+    def reconcile(
+        self,
+        targets: List[JobTarget],
+        job_progress: Optional[Dict[str, float]] = None,
+        scope: Optional[set] = None,
+    ) -> ReconcileReport:
+        """Drive the cluster to the desired state.
+
+        Jobs whose layout is unchanged are left untouched; changed jobs go
+        through the §5.4 checkpoint/teardown/relaunch/restore cycle; jobs
+        absent from *targets* (paused or finished) are checkpointed and torn
+        down.
+
+        ``scope`` limits which jobs this controller is allowed to tear
+        down: pods of jobs outside the scope (other tenants' workloads, §7
+        "Various workloads") are never touched. ``None`` means the
+        controller owns every pod.
+        """
+        job_progress = job_progress or {}
+        report = ReconcileReport()
+        scaled: List[str] = []
+
+        desired = {t.job_id: t for t in targets}
+        existing_jobs = {pod.job_id for pod in self.api.list_pods()}
+        if scope is not None:
+            existing_jobs &= set(scope) | set(desired)
+
+        # Tear down jobs that should no longer run.
+        for job_id in sorted(existing_jobs - set(desired)):
+            self.save_checkpoint(job_id, job_progress.get(job_id, 0.0))
+            report.checkpoints_saved += 1
+            report.pods_deleted += self._teardown_job(job_id)
+
+        for job_id, target in desired.items():
+            current = self._current_layout(job_id)
+            if current == dict(target.layout):
+                # Unchanged: keep running (no scaling cost), but refresh the
+                # progress checkpoint so a scheduler crash loses at most one
+                # interval of training (§5.5).
+                if job_id in job_progress:
+                    self.save_checkpoint(job_id, job_progress[job_id])
+                    report.progress_updates += 1
+                continue
+            if job_id in existing_jobs:
+                self.save_checkpoint(job_id, job_progress.get(job_id, 0.0))
+                report.checkpoints_saved += 1
+                report.pods_deleted += self._teardown_job(job_id)
+            if self.load_checkpoint(job_id) is not None:
+                report.checkpoints_restored += 1
+            report.pods_created += self._launch_job(target)
+            scaled.append(job_id)
+
+        report.jobs_scaled = tuple(scaled)
+        return report

@@ -1,0 +1,130 @@
+"""An etcd-like key/value store (§5.5).
+
+Optimus stores job states in etcd for fault tolerance and polls the
+Kubernetes master for cluster state. This module provides the storage half
+of that substrate: a revisioned key/value store with prefix queries,
+compare-and-swap, and prefix watches delivering change events -- the etcd
+features the scheduler stack actually relies on.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import KVStoreError
+
+
+@dataclass(frozen=True)
+class KVEvent:
+    """One change notification delivered to watchers."""
+
+    type: str  # "put" or "delete"
+    key: str
+    value: Optional[str]
+    revision: int
+
+
+WatchCallback = Callable[[KVEvent], None]
+
+
+class KVStore:
+    """A miniature etcd: revisioned puts, CAS, prefix listing and watches.
+
+    Single-threaded by design (the simulator is single-threaded); watches
+    fire synchronously during the mutating call, in registration order.
+    """
+
+    def __init__(self):
+        self._data: Dict[str, Tuple[str, int]] = {}  # key -> (value, mod_rev)
+        self._revision = 0
+        self._watchers: List[Tuple[int, str, WatchCallback]] = []
+        self._watch_id = 0
+
+    @property
+    def revision(self) -> int:
+        """The store's current (latest) revision."""
+        return self._revision
+
+    # -- basic operations ---------------------------------------------------------
+    def put(self, key: str, value: str) -> int:
+        """Set *key* to *value*; returns the new revision."""
+        self._validate_key(key)
+        self._revision += 1
+        self._data[key] = (str(value), self._revision)
+        self._notify(KVEvent("put", key, str(value), self._revision))
+        return self._revision
+
+    def get(self, key: str) -> Optional[str]:
+        """The current value of *key*, or ``None``."""
+        entry = self._data.get(key)
+        return entry[0] if entry else None
+
+    def get_with_revision(self, key: str) -> Tuple[Optional[str], int]:
+        """Value and last-modified revision of *key* (``(None, 0)`` if absent)."""
+        entry = self._data.get(key)
+        return (entry[0], entry[1]) if entry else (None, 0)
+
+    def delete(self, key: str) -> bool:
+        """Remove *key*; True when it existed."""
+        if key not in self._data:
+            return False
+        self._revision += 1
+        del self._data[key]
+        self._notify(KVEvent("delete", key, None, self._revision))
+        return True
+
+    def compare_and_swap(
+        self, key: str, expected: Optional[str], value: str
+    ) -> bool:
+        """Atomically set *key* to *value* iff its current value is *expected*.
+
+        ``expected=None`` means "key must not exist" (create-only).
+        """
+        current = self.get(key)
+        if current != expected:
+            return False
+        self.put(key, value)
+        return True
+
+    # -- queries ------------------------------------------------------------------
+    def list_prefix(self, prefix: str) -> Dict[str, str]:
+        """All key/value pairs whose key starts with *prefix*."""
+        return {
+            key: value
+            for key, (value, _) in sorted(self._data.items())
+            if key.startswith(prefix)
+        }
+
+    def keys(self, pattern: str = "*") -> List[str]:
+        """Keys matching a glob *pattern*, sorted."""
+        return sorted(k for k in self._data if fnmatch.fnmatch(k, pattern))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    # -- watches ------------------------------------------------------------------
+    def watch(self, prefix: str, callback: WatchCallback) -> int:
+        """Register *callback* for changes under *prefix*; returns a watch id."""
+        self._watch_id += 1
+        self._watchers.append((self._watch_id, prefix, callback))
+        return self._watch_id
+
+    def cancel_watch(self, watch_id: int) -> bool:
+        before = len(self._watchers)
+        self._watchers = [w for w in self._watchers if w[0] != watch_id]
+        return len(self._watchers) != before
+
+    def _notify(self, event: KVEvent) -> None:
+        for _, prefix, callback in list(self._watchers):
+            if event.key.startswith(prefix):
+                callback(event)
+
+    @staticmethod
+    def _validate_key(key: str) -> None:
+        if not key or not isinstance(key, str):
+            raise KVStoreError("keys must be non-empty strings")

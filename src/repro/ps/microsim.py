@@ -1,0 +1,273 @@
+"""A first-principles micro-simulation of one parameter-server step.
+
+The whole reproduction rests on the paper's Eqn-2 step-time model. This
+module *derives* the step time from first principles instead of assuming
+it: an event-driven fluid simulation of a single synchronous training step
+on the PS architecture --
+
+1. every worker computes its gradients (``m*T_forward + T_back``, possibly
+   slowed by a straggler factor);
+2. it pushes one gradient shard to every parameter server, as network
+   flows sharing NIC capacity under max-min fairness (each worker NIC and
+   each PS NIC is a link);
+3. each parameter server applies the updates it received
+   (``T_update * rho_j`` per worker push for its shard fraction ``rho_j``);
+4. updated parameters flow back to the workers (the pull phase, symmetric
+   to the push);
+5. the step ends when the slowest worker holds all updated parameters.
+
+With balanced shards and no stragglers, the result collapses to Eqn 2's
+``compute + 2*(S/p)/(B/w) + T_update*w/p`` -- the test suite and the
+validation bench check exactly that, and also that shard *imbalance*
+produces the §5.3 slowdown the closed-form models with ``rho_max * p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+_EPS = 1e-9
+
+
+@dataclass
+class _Flow:
+    """One directional transfer between a worker and a parameter server."""
+
+    worker: int
+    ps: int
+    remaining: float
+    start_time: float
+    finish_time: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        return self.finish_time is None
+
+
+def _max_min_rates(
+    flows: Sequence[_Flow],
+    worker_capacity: float,
+    ps_capacity: float,
+) -> Dict[int, float]:
+    """Max-min fair rates for the active flows.
+
+    Links: each worker's NIC (capacity ``worker_capacity``) and each PS's
+    NIC (``ps_capacity``). Progressive filling: repeatedly saturate the
+    tightest link and freeze its flows' rates.
+    """
+    active = [i for i, flow in enumerate(flows) if flow.active]
+    rates: Dict[int, float] = {}
+    link_capacity: Dict[Tuple[str, int], float] = {}
+    link_flows: Dict[Tuple[str, int], List[int]] = {}
+    for i in active:
+        flow = flows[i]
+        for link in (("w", flow.worker), ("p", flow.ps)):
+            link_flows.setdefault(link, []).append(i)
+            link_capacity.setdefault(
+                link, worker_capacity if link[0] == "w" else ps_capacity
+            )
+
+    unfrozen = set(active)
+    while unfrozen:
+        # The tightest link determines the next fair-share level.
+        best_level = None
+        best_link = None
+        for link, members in link_flows.items():
+            remaining_members = [i for i in members if i in unfrozen]
+            if not remaining_members:
+                continue
+            level = link_capacity[link] / len(remaining_members)
+            if best_level is None or level < best_level:
+                best_level = level
+                best_link = link
+        if best_link is None:
+            break
+        for i in [m for m in link_flows[best_link] if m in unfrozen]:
+            rates[i] = best_level
+            unfrozen.discard(i)
+            # Remove this flow's share from its other link.
+            flow = flows[i]
+            for link in (("w", flow.worker), ("p", flow.ps)):
+                if link != best_link:
+                    link_capacity[link] = max(
+                        link_capacity[link] - best_level, 0.0
+                    )
+    return rates
+
+
+def _run_transfers(
+    flows: List[_Flow], worker_capacity: float, ps_capacity: float
+) -> None:
+    """Advance the fluid simulation until every flow completes."""
+    started: List[_Flow] = []
+    pending = sorted(flows, key=lambda f: f.start_time)
+    now = pending[0].start_time if pending else 0.0
+    idx = 0
+    guard = 0
+    while idx < len(pending) or any(f.active for f in started):
+        guard += 1
+        if guard > 100_000:
+            raise ConfigurationError("transfer simulation failed to converge")
+        while idx < len(pending) and pending[idx].start_time <= now + _EPS:
+            started.append(pending[idx])
+            idx += 1
+        active = [f for f in started if f.active]
+        if not active:
+            if idx < len(pending):
+                now = pending[idx].start_time
+                continue
+            break
+        rates = _max_min_rates(started, worker_capacity, ps_capacity)
+        # Next event: a flow finishing or a new flow starting.
+        horizon = pending[idx].start_time - now if idx < len(pending) else None
+        finish_candidates = []
+        for i, flow in enumerate(started):
+            if not flow.active:
+                continue
+            rate = rates.get(i, 0.0)
+            if rate > _EPS:
+                finish_candidates.append(flow.remaining / rate)
+        finish_in = min(finish_candidates) if finish_candidates else None
+        if finish_in is None and horizon is None:
+            raise ConfigurationError("transfer simulation stalled")
+        step = min(x for x in (finish_in, horizon) if x is not None)
+        step = max(step, 0.0)
+        for i, flow in enumerate(started):
+            if not flow.active:
+                continue
+            rate = rates.get(i, 0.0)
+            flow.remaining -= rate * step
+            if flow.remaining <= _EPS * max(1.0, rate):
+                flow.remaining = 0.0
+                flow.finish_time = now + step
+        now += step
+
+
+@dataclass(frozen=True)
+class MicroStepConfig:
+    """Inputs of one micro-simulated synchronous step."""
+
+    num_workers: int
+    shard_bytes: Tuple[float, ...]  # per-PS shard sizes (sum = model size)
+    bandwidth: float  # NIC capacity, bytes/s, same for every node
+    compute_time: float  # per-worker forward+backward seconds
+    update_time_full: float  # T_update for the whole model on one PS
+    straggler_factors: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError("need at least one worker")
+        if not self.shard_bytes or any(s < 0 for s in self.shard_bytes):
+            raise ConfigurationError("shard sizes must be non-negative")
+        if self.bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.compute_time < 0 or self.update_time_full < 0:
+            raise ConfigurationError("times must be non-negative")
+        if self.straggler_factors is not None:
+            if len(self.straggler_factors) != self.num_workers:
+                raise ConfigurationError(
+                    "straggler_factors must have one entry per worker"
+                )
+            if any(f < 1 for f in self.straggler_factors):
+                raise ConfigurationError("straggler factors must be >= 1")
+
+    @property
+    def num_ps(self) -> int:
+        return len(self.shard_bytes)
+
+    @property
+    def model_bytes(self) -> float:
+        return float(sum(self.shard_bytes))
+
+
+@dataclass(frozen=True)
+class MicroStepResult:
+    """Outputs of one micro-simulated step."""
+
+    step_time: float
+    compute_done: Tuple[float, ...]  # per worker
+    push_done: Tuple[float, ...]  # per PS: all gradients received
+    update_done: Tuple[float, ...]  # per PS
+    pull_done: Tuple[float, ...]  # per worker: all parameters received
+
+
+def simulate_step(config: MicroStepConfig) -> MicroStepResult:
+    """Simulate one synchronous PS training step from first principles."""
+    w = config.num_workers
+    p = config.num_ps
+    factors = config.straggler_factors or tuple(1.0 for _ in range(w))
+
+    compute_done = tuple(config.compute_time * factors[i] for i in range(w))
+
+    # Push phase: every worker sends shard_j to PS j once its compute ends.
+    push_flows = [
+        _Flow(
+            worker=i,
+            ps=j,
+            remaining=config.shard_bytes[j],
+            start_time=compute_done[i],
+        )
+        for i in range(w)
+        for j in range(p)
+        if config.shard_bytes[j] > 0
+    ]
+    _run_transfers(push_flows, config.bandwidth, config.bandwidth)
+    push_done_list = []
+    for j in range(p):
+        finishes = [f.finish_time for f in push_flows if f.ps == j]
+        push_done_list.append(max(finishes) if finishes else max(compute_done))
+    push_done = tuple(push_done_list)
+
+    # Update phase: PS j applies w gradient sets over its shard fraction.
+    update_done = tuple(
+        push_done[j]
+        + config.update_time_full
+        * (config.shard_bytes[j] / max(config.model_bytes, _EPS))
+        * w
+        for j in range(p)
+    )
+
+    # Pull phase: updated shards flow back to every worker.
+    pull_flows = [
+        _Flow(
+            worker=i,
+            ps=j,
+            remaining=config.shard_bytes[j],
+            start_time=update_done[j],
+        )
+        for i in range(w)
+        for j in range(p)
+        if config.shard_bytes[j] > 0
+    ]
+    _run_transfers(pull_flows, config.bandwidth, config.bandwidth)
+    pull_done_list = []
+    for i in range(w):
+        finishes = [f.finish_time for f in pull_flows if f.worker == i]
+        pull_done_list.append(max(finishes) if finishes else compute_done[i])
+    pull_done = tuple(pull_done_list)
+
+    return MicroStepResult(
+        step_time=max(pull_done),
+        compute_done=compute_done,
+        push_done=push_done,
+        update_done=update_done,
+        pull_done=pull_done,
+    )
+
+
+def closed_form_step_time(config: MicroStepConfig) -> float:
+    """The Eqn-2 prediction for the same configuration (no overhead terms).
+
+    Uses the §5.3 imbalance form: the busiest parameter server's shard
+    ``rho_max * S`` dominates the transfer and update phases.
+    """
+    w = config.num_workers
+    p = config.num_ps
+    model = config.model_bytes
+    rho_max = max(config.shard_bytes) / max(model, _EPS)
+    transfer = 2.0 * (rho_max * model) * w / config.bandwidth
+    update = config.update_time_full * rho_max * w
+    return config.compute_time + transfer + update

@@ -1,0 +1,45 @@
+"""Schedulers: Optimus, the paper's baselines and ablation hybrids."""
+
+from repro.schedulers.base import JobView, Scheduler, SchedulingDecision
+from repro.schedulers.composite import (
+    CompositeScheduler,
+    DRFScheduler,
+    FIFOScheduler,
+    OptimusScheduler,
+    TetrisScheduler,
+    make_scheduler,
+)
+from repro.schedulers.policies import (
+    ALLOCATION_POLICIES,
+    PLACEMENT_POLICIES,
+    drf_allocation,
+    fifo_allocation,
+    optimus_allocation,
+    optimus_placement,
+    pack_placement,
+    spread_placement,
+    srtf_allocation,
+    tetris_allocation,
+)
+
+__all__ = [
+    "Scheduler",
+    "JobView",
+    "SchedulingDecision",
+    "CompositeScheduler",
+    "OptimusScheduler",
+    "DRFScheduler",
+    "TetrisScheduler",
+    "FIFOScheduler",
+    "make_scheduler",
+    "ALLOCATION_POLICIES",
+    "PLACEMENT_POLICIES",
+    "optimus_allocation",
+    "drf_allocation",
+    "tetris_allocation",
+    "fifo_allocation",
+    "srtf_allocation",
+    "optimus_placement",
+    "spread_placement",
+    "pack_placement",
+]

@@ -1,0 +1,117 @@
+"""Scheduler interface shared by Optimus and the baselines.
+
+Every scheduler sees the same picture at each scheduling-interval boundary:
+a cleared working copy of the cluster (elastic scaling is checkpoint-based,
+§5.4, so every interval re-places from scratch) and one :class:`JobView` per
+active job. It returns a :class:`SchedulingDecision`: per-job task counts
+plus a per-server layout. Jobs missing from the decision are paused for the
+interval (§4.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import ResourceVector
+from repro.core.allocation import TaskAllocation
+from repro.core.placement import JobLayout
+from repro.workloads.job import JobSpec
+
+
+@dataclass
+class JobView:
+    """What a scheduler is allowed to know about one active job.
+
+    ``remaining_steps`` and ``speed`` come from the online models of §3 --
+    the simulator builds them from fitted estimators, never from ground
+    truth. §6.1 gives the same estimates to Tetris, which has no estimator
+    of its own.
+    """
+
+    spec: JobSpec
+    remaining_steps: float
+    speed: Callable[[int, int], float]
+    #: Number of loss observations collected so far (for the §4.1 priority
+    #: downgrade of jobs whose predictions are still unreliable).
+    observation_count: int = 0
+    #: Fraction of predicted total work already done, in [0, 1].
+    progress: float = 0.0
+    #: The allocation the job ran with during the previous interval
+    #: ((0, 0) if it was paused or just arrived).
+    current_allocation: TaskAllocation = TaskAllocation(0, 0)
+    #: One-time cost (seconds) of changing this job's configuration: the
+    #: §5.4 checkpoint + restart + restore cycle. Used by cost-aware
+    #: rescaling (§7 "Scaling overhead").
+    rescale_cost: float = 0.0
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    def estimated_time(self, workers: int, ps: int) -> float:
+        """Estimated completion time under a hypothetical allocation."""
+        if workers < 1 or ps < 1:
+            return float("inf")
+        try:
+            speed = self.speed(ps, workers)
+        except Exception:
+            return float("inf")
+        if not speed or speed <= 0:
+            return float("inf")
+        return self.remaining_steps / speed
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """Allocations plus layouts for one interval."""
+
+    allocations: Dict[str, TaskAllocation] = field(default_factory=dict)
+    layouts: Dict[str, JobLayout] = field(default_factory=dict)
+
+    @property
+    def scheduled_jobs(self) -> Tuple[str, ...]:
+        """Jobs that will actually run this interval (allocated AND placed)."""
+        return tuple(j for j in self.allocations if j in self.layouts)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(
+            self.allocations[j].total for j in self.scheduled_jobs
+        )
+
+    def validate(self) -> None:
+        """Check allocations and layouts are mutually consistent."""
+        for job_id, layout in self.layouts.items():
+            if job_id not in self.allocations:
+                raise ValueError(f"layout for unallocated job {job_id!r}")
+            alloc = self.allocations[job_id]
+            workers = sum(nw for nw, _ in layout.values())
+            ps = sum(np_ for _, np_ in layout.values())
+            if (workers, ps) != (alloc.workers, alloc.ps):
+                raise ValueError(
+                    f"job {job_id!r}: layout totals ({workers}, {ps}) "
+                    f"!= allocation ({alloc.workers}, {alloc.ps})"
+                )
+
+
+class Scheduler(abc.ABC):
+    """Base class: one :meth:`schedule` call per scheduling interval."""
+
+    #: Human-readable name used in reports and plots.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def schedule(
+        self, cluster: Cluster, jobs: Sequence[JobView]
+    ) -> SchedulingDecision:
+        """Produce this interval's decision.
+
+        *cluster* is a cleared working copy -- implementations may mutate it
+        freely while building their placement.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,223 @@
+"""Composing an allocation policy and a placement policy into a scheduler.
+
+:class:`CompositeScheduler` is the workhorse behind every named scheduler in
+this library, including the §6.4 ablation hybrids ("Optimus allocation +
+DRF placement" and friends).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.common.errors import SchedulingError
+from repro.core.allocation import TaskAllocation
+from repro.core.placement import PlacementRequest
+from repro.schedulers.base import JobView, Scheduler, SchedulingDecision
+from repro.schedulers.policies import (
+    ALLOCATION_POLICIES,
+    PLACEMENT_POLICIES,
+    optimus_allocation,
+)
+
+
+class CompositeScheduler(Scheduler):
+    """A scheduler assembled from named policies.
+
+    Parameters
+    ----------
+    allocation:
+        One of ``"optimus"``, ``"drf"``, ``"tetris"``, ``"fifo"``.
+    placement:
+        One of ``"optimus"``, ``"spread"``, ``"pack"``.
+    allocation_kwargs:
+        Extra keyword arguments forwarded to the allocation policy (e.g.
+        ``priority_factor`` for Optimus).
+    """
+
+    def __init__(
+        self,
+        allocation: str,
+        placement: str,
+        name: str = None,
+        rescale_threshold: float = 0.0,
+        **allocation_kwargs,
+    ):
+        if rescale_threshold < 0:
+            raise SchedulingError("rescale_threshold must be non-negative")
+        if allocation not in ALLOCATION_POLICIES:
+            raise SchedulingError(
+                f"unknown allocation policy {allocation!r}; "
+                f"known: {sorted(ALLOCATION_POLICIES)}"
+            )
+        if placement not in PLACEMENT_POLICIES:
+            raise SchedulingError(
+                f"unknown placement policy {placement!r}; "
+                f"known: {sorted(PLACEMENT_POLICIES)}"
+            )
+        self.allocation_policy = ALLOCATION_POLICIES[allocation]
+        self.placement_policy = PLACEMENT_POLICIES[placement]
+        self.allocation_kwargs = allocation_kwargs
+        self.rescale_threshold = float(rescale_threshold)
+        self.name = name or f"{allocation}+{placement}"
+
+    def _apply_rescale_hysteresis(
+        self,
+        allocations: Dict[str, TaskAllocation],
+        views: Dict[str, JobView],
+    ) -> Dict[str, TaskAllocation]:
+        """Cost-aware rescaling (§7 "Scaling overhead").
+
+        Changing a job's configuration costs a checkpoint/restart cycle
+        (``view.rescale_cost`` seconds). A running job keeps its current
+        allocation unless the *estimated completion-time saving* of the new
+        one exceeds ``rescale_threshold`` times that cost -- with threshold
+        1.0, a job only rescales when the move pays for itself.
+        """
+        if self.rescale_threshold <= 0:
+            return allocations
+        adjusted: Dict[str, TaskAllocation] = {}
+        for job_id, new_alloc in allocations.items():
+            view = views[job_id]
+            current = view.current_allocation
+            if (
+                current.workers < 1
+                or current.ps < 1
+                or new_alloc == current
+                or view.rescale_cost <= 0
+            ):
+                adjusted[job_id] = new_alloc
+                continue
+            t_current = view.estimated_time(current.workers, current.ps)
+            t_new = view.estimated_time(new_alloc.workers, new_alloc.ps)
+            saving = t_current - t_new
+            if saving > self.rescale_threshold * view.rescale_cost:
+                adjusted[job_id] = new_alloc
+            else:
+                adjusted[job_id] = current
+        return adjusted
+
+    def schedule(
+        self, cluster: Cluster, jobs: Sequence[JobView]
+    ) -> SchedulingDecision:
+        if not jobs:
+            return SchedulingDecision()
+        views = {v.job_id: v for v in jobs}
+        # Allocation works against what is actually free: foreign tenants'
+        # pods or background reservations may already occupy the cluster.
+        allocations: Dict[str, TaskAllocation] = self.allocation_policy(
+            jobs, cluster.total_available, **self.allocation_kwargs
+        )
+        allocations = self._apply_rescale_hysteresis(allocations, views)
+        requests = [
+            PlacementRequest(
+                job_id=job_id,
+                workers=alloc.workers,
+                ps=alloc.ps,
+                worker_demand=views[job_id].spec.worker_demand,
+                ps_demand=views[job_id].spec.ps_demand,
+            )
+            for job_id, alloc in allocations.items()
+            if alloc.workers >= 1 and alloc.ps >= 1
+        ]
+        placement = self.placement_policy(cluster, requests)
+        layouts = dict(placement.layouts)
+        final_allocations = {
+            job_id: alloc
+            for job_id, alloc in allocations.items()
+            if job_id in layouts
+        }
+        # Allocation works against aggregate capacity (constraint (7)), so
+        # fragmentation can make a granted allocation unplaceable. Rather
+        # than pausing such a job for the whole interval (which would starve
+        # large jobs indefinitely under a persistent load), shrink its task
+        # counts and retry until it fits or even (1, 1) is rejected.
+        for job_id in placement.unplaced:
+            alloc = allocations[job_id]
+            workers, ps = alloc.workers, alloc.ps
+            while True:
+                retry = PlacementRequest(
+                    job_id=job_id,
+                    workers=workers,
+                    ps=ps,
+                    worker_demand=views[job_id].spec.worker_demand,
+                    ps_demand=views[job_id].spec.ps_demand,
+                )
+                result = self.placement_policy(cluster, [retry])
+                if job_id in result.layouts:
+                    layouts[job_id] = result.layouts[job_id]
+                    final_allocations[job_id] = TaskAllocation(workers, ps)
+                    break
+                if (workers, ps) == (1, 1):
+                    break  # genuinely no room; paused this interval (§4.2)
+                workers = max(1, workers // 2)
+                ps = max(1, ps // 2)
+        decision = SchedulingDecision(
+            allocations=final_allocations, layouts=layouts
+        )
+        decision.validate()
+        return decision
+
+
+class OptimusScheduler(CompositeScheduler):
+    """The paper's scheduler: §4.1 allocation + §4.2 placement.
+
+    ``priority_factor`` < 1 enables the end-of-§4.1 downgrade of jobs whose
+    predictions are still unreliable (the paper evaluates 0.95 in §6.3).
+    """
+
+    def __init__(
+        self,
+        priority_factor: float = 1.0,
+        rescale_threshold: float = 0.0,
+        name: str = "optimus",
+    ):
+        super().__init__(
+            "optimus",
+            "optimus",
+            name=name,
+            rescale_threshold=rescale_threshold,
+            priority_factor=priority_factor,
+        )
+
+
+class DRFScheduler(CompositeScheduler):
+    """The fairness baseline: DRF allocation + load-balanced placement."""
+
+    def __init__(self, name: str = "drf"):
+        super().__init__("drf", "spread", name=name)
+
+
+class TetrisScheduler(CompositeScheduler):
+    """The Tetris baseline: packing+SRTF allocation + packing placement."""
+
+    def __init__(self, name: str = "tetris"):
+        super().__init__("tetris", "pack", name=name)
+
+
+class FIFOScheduler(CompositeScheduler):
+    """Static first-in-first-out scheduling of the owners' fixed requests."""
+
+    def __init__(self, name: str = "fifo"):
+        super().__init__("fifo", "spread", name=name)
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Build a scheduler from a preset name or an ``alloc+place`` spec.
+
+    Presets: ``optimus``, ``drf``, ``tetris``, ``fifo``. Any other name is
+    parsed as ``"<allocation>+<placement>"`` for ablation hybrids, e.g.
+    ``"drf+optimus"`` is DRF allocation with Optimus placement (Fig. 18).
+    """
+    presets = {
+        "optimus": OptimusScheduler,
+        "drf": DRFScheduler,
+        "tetris": TetrisScheduler,
+        "fifo": FIFOScheduler,
+    }
+    if name in presets:
+        return presets[name](**kwargs)
+    if "+" in name:
+        allocation, placement = name.split("+", 1)
+        return CompositeScheduler(allocation, placement, **kwargs)
+    raise SchedulingError(f"unknown scheduler {name!r}")

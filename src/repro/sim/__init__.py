@@ -1,0 +1,56 @@
+"""Discrete-time cluster simulator and experiment harness (§6)."""
+
+from repro.sim.background import (
+    LoadProfile,
+    constant_load,
+    diurnal_load,
+    step_load,
+)
+from repro.sim.engine import SimConfig, Simulation, simulate
+from repro.sim.experiment import (
+    SchedulerStats,
+    compare_schedulers,
+    format_comparison,
+    normalized,
+    run_repeats,
+)
+from repro.sim.metrics import (
+    JobRecord,
+    SimulationResult,
+    TimeSlot,
+    aggregate_results,
+)
+from repro.sim.runtime import RuntimeJob, ScalingCosts
+from repro.sim.stragglers import (
+    StragglerConfig,
+    StragglerEpisode,
+    StragglerInjector,
+    degraded_speed,
+    effective_interval_speed,
+)
+
+__all__ = [
+    "LoadProfile",
+    "constant_load",
+    "diurnal_load",
+    "step_load",
+    "SimConfig",
+    "Simulation",
+    "simulate",
+    "SimulationResult",
+    "JobRecord",
+    "TimeSlot",
+    "aggregate_results",
+    "RuntimeJob",
+    "ScalingCosts",
+    "StragglerConfig",
+    "StragglerEpisode",
+    "StragglerInjector",
+    "degraded_speed",
+    "effective_interval_speed",
+    "SchedulerStats",
+    "run_repeats",
+    "compare_schedulers",
+    "normalized",
+    "format_comparison",
+]

@@ -1,0 +1,101 @@
+"""Background (non-DL) cluster load profiles (§7 "Various workloads").
+
+Production clusters are shared: the paper's introduction motivates dynamic
+scaling with resources that free up "e.g. during night time when there are
+lower workloads", and §7 sketches Optimus scheduling DL jobs "on a varying
+portion of cluster resources" handed over by a central resource manager.
+
+A *load profile* is a callable ``t -> fraction``: the fraction of every
+server's capacity reserved by other workloads at time ``t`` (seconds from
+experiment start). The simulator reserves that fraction on each server
+before the DL scheduler sees the cluster, so Optimus automatically grows
+jobs when the background recedes and shrinks them when it returns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+
+#: t (seconds) -> fraction of each server's capacity that is unavailable.
+LoadProfile = Callable[[float], float]
+
+#: Reservations never exceed this, so DL jobs always have some room.
+MAX_BACKGROUND_FRACTION = 0.95
+
+
+def clamp_fraction(value: float) -> float:
+    """Clamp a profile's output into the representable range."""
+    return min(max(float(value), 0.0), MAX_BACKGROUND_FRACTION)
+
+
+def constant_load(fraction: float) -> LoadProfile:
+    """A fixed background reservation."""
+    if not 0.0 <= fraction <= MAX_BACKGROUND_FRACTION:
+        raise ConfigurationError(
+            f"fraction must be in [0, {MAX_BACKGROUND_FRACTION}]"
+        )
+
+    def profile(t: float) -> float:
+        return fraction
+
+    return profile
+
+
+def diurnal_load(
+    trough: float = 0.1,
+    peak: float = 0.6,
+    period: float = 86_400.0,
+    phase: float = 0.0,
+) -> LoadProfile:
+    """A day/night cycle: minimal load at ``t = phase``, maximal half a
+    period later (cosine-shaped, as datacenter diurnal patterns roughly are).
+
+    Parameters
+    ----------
+    trough / peak:
+        Background fractions at night / mid-day.
+    period:
+        Cycle length in seconds (a day by default).
+    phase:
+        Time of the load minimum, seconds from experiment start.
+    """
+    if not 0.0 <= trough <= peak <= MAX_BACKGROUND_FRACTION:
+        raise ConfigurationError(
+            "need 0 <= trough <= peak <= "
+            f"{MAX_BACKGROUND_FRACTION}"
+        )
+    if period <= 0:
+        raise ConfigurationError("period must be positive")
+
+    def profile(t: float) -> float:
+        swing = 0.5 * (1.0 - math.cos(2.0 * math.pi * (t - phase) / period))
+        return trough + (peak - trough) * swing
+
+    return profile
+
+
+def step_load(schedule) -> LoadProfile:
+    """A piecewise-constant profile from ``[(start_time, fraction), ...]``.
+
+    Times must be ascending; the fraction before the first start is 0.
+    """
+    points = [(float(t), float(f)) for t, f in schedule]
+    if any(b[0] <= a[0] for a, b in zip(points, points[1:])):
+        raise ConfigurationError("schedule times must be strictly ascending")
+    for _, fraction in points:
+        if not 0.0 <= fraction <= MAX_BACKGROUND_FRACTION:
+            raise ConfigurationError("fractions must be in range")
+
+    def profile(t: float) -> float:
+        current = 0.0
+        for start, fraction in points:
+            if t >= start:
+                current = fraction
+            else:
+                break
+        return current
+
+    return profile

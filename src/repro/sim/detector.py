@@ -1,0 +1,140 @@
+"""Straggler detection rules (§5.2).
+
+The paper monitors workers and flags stragglers two ways:
+
+* **Asynchronous jobs** — compare each worker's training speed against the
+  median: a worker below half the median speed is a straggler.
+* **Synchronous jobs** — all workers report the same *speed* (they are
+  synchronized), so instead the parameter servers watch the arrival time of
+  each worker's gradients and compute a per-worker speed as the gap between
+  consecutive arrivals; the same half-median rule then applies to those
+  gap-derived speeds.
+
+:class:`SpeedMonitor` implements both: feed it per-worker speed samples
+(async) or per-worker gradient-arrival timestamps (sync) and it returns the
+workers to replace. The simulation engine models the *effect* of detection
+with a latency (:mod:`repro.sim.stragglers`); this module is the decision
+logic a deployment would run, exercised directly by the test suite and the
+monitoring example.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: §5.2: "if a worker is too slow (e.g., half speed from the median), we
+#: consider it as a straggler".
+DEFAULT_SPEED_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class StragglerVerdict:
+    """The monitor's output for one evaluation."""
+
+    stragglers: Tuple[int, ...]
+    median_speed: float
+    speeds: Dict[int, float]
+
+
+class SpeedMonitor:
+    """Per-worker speed tracking with the §5.2 half-median rule.
+
+    Parameters
+    ----------
+    speed_fraction:
+        Flag workers below this fraction of the median speed.
+    min_workers:
+        Below this many reporting workers a median is meaningless and
+        nothing is flagged.
+    confirmation:
+        Number of consecutive evaluations a worker must be flagged before
+        it is reported (debouncing transient dips).
+    """
+
+    def __init__(
+        self,
+        speed_fraction: float = DEFAULT_SPEED_FRACTION,
+        min_workers: int = 3,
+        confirmation: int = 1,
+    ):
+        if not 0 < speed_fraction < 1:
+            raise ConfigurationError("speed_fraction must be in (0, 1)")
+        if min_workers < 2:
+            raise ConfigurationError("min_workers must be >= 2")
+        if confirmation < 1:
+            raise ConfigurationError("confirmation must be >= 1")
+        self.speed_fraction = float(speed_fraction)
+        self.min_workers = int(min_workers)
+        self.confirmation = int(confirmation)
+        self._flag_streaks: Dict[int, int] = {}
+        #: Workers already reported (until cleared by :meth:`replaced`).
+        self._reported: set = set()
+
+    # -- async path: direct speed samples ----------------------------------------
+    def evaluate_speeds(self, speeds: Dict[int, float]) -> StragglerVerdict:
+        """Apply the half-median rule to per-worker speeds (async, §5.2)."""
+        cleaned = {int(w): float(s) for w, s in speeds.items()}
+        if any(s < 0 for s in cleaned.values()):
+            raise ConfigurationError("speeds must be non-negative")
+        if len(cleaned) < self.min_workers:
+            return StragglerVerdict((), 0.0, cleaned)
+        median = statistics.median(cleaned.values())
+        flagged = []
+        for worker, speed in cleaned.items():
+            if speed < self.speed_fraction * median:
+                streak = self._flag_streaks.get(worker, 0) + 1
+                self._flag_streaks[worker] = streak
+                if streak >= self.confirmation and worker not in self._reported:
+                    flagged.append(worker)
+            else:
+                self._flag_streaks[worker] = 0
+        for worker in flagged:
+            self._reported.add(worker)
+        return StragglerVerdict(tuple(sorted(flagged)), median, cleaned)
+
+    # -- sync path: gradient arrival timestamps -----------------------------------
+    @staticmethod
+    def speeds_from_arrivals(
+        arrivals: Dict[int, Sequence[float]]
+    ) -> Dict[int, float]:
+        """Per-worker speed from gradient arrival times on the PS (sync).
+
+        §5.2: "we monitor the arrival time of each worker's gradients on
+        parameter servers and calculate the training speed of each worker
+        as the gap between the arrival time of two steps". Speed is the
+        reciprocal of the mean inter-arrival gap.
+        """
+        speeds: Dict[int, float] = {}
+        for worker, times in arrivals.items():
+            ordered = sorted(float(t) for t in times)
+            if len(ordered) < 2:
+                continue
+            gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+            mean_gap = sum(gaps) / len(gaps)
+            if mean_gap <= 0:
+                raise ConfigurationError(
+                    f"worker {worker} has non-increasing arrival times"
+                )
+            speeds[int(worker)] = 1.0 / mean_gap
+        return speeds
+
+    def evaluate_arrivals(
+        self, arrivals: Dict[int, Sequence[float]]
+    ) -> StragglerVerdict:
+        """Apply the rule to gradient-arrival histories (sync, §5.2)."""
+        return self.evaluate_speeds(self.speeds_from_arrivals(arrivals))
+
+    # -- lifecycle ---------------------------------------------------------------
+    def replaced(self, worker: int) -> None:
+        """Tell the monitor a flagged worker was replaced (§5.2: "we
+        replace a straggler by launching a new worker")."""
+        self._reported.discard(worker)
+        self._flag_streaks.pop(worker, None)
+
+    @property
+    def reported(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._reported))

@@ -1,0 +1,354 @@
+"""The discrete-time cluster simulator (§6.1 "Simulator").
+
+The paper evaluates Optimus both on a 13-server testbed and, for anything
+larger or parameter-swept, on a discrete-time simulator driven by traces
+(loss curves, speeds under different configurations, server capacities, job
+configurations). This engine is that simulator:
+
+* time advances in scheduling intervals (10 minutes by default);
+* at each boundary, newly arrived jobs are admitted, every active job is
+  snapshotted into a :class:`~repro.schedulers.base.JobView` (estimates come
+  from the online models, never from ground truth) and the scheduler under
+  test produces allocations + placements;
+* jobs whose configuration changed pay the §5.4 checkpoint-based scaling
+  cost, then progress at their ground-truth speed -- which accounts for the
+  placement (Fig. 10 transfer accounting), the parameter-server imbalance of
+  the configured partitioner (§5.3) and any injected stragglers (§5.2);
+* completions are solved exactly inside the interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.common.errors import SimulationError
+from repro.common.rand import RandomSource
+from repro.core.allocation import TaskAllocation
+from repro.datastore.hdfs import ChunkStore
+from repro.schedulers.base import Scheduler
+from repro.sim.metrics import JobRecord, SimulationResult, TimeSlot
+from repro.sim.runtime import ESTIMATOR_MODES, RuntimeJob, ScalingCosts
+from repro.sim.stragglers import (
+    StragglerConfig,
+    StragglerInjector,
+    effective_interval_speed,
+)
+from repro.workloads.job import JobSpec
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """All simulator knobs in one immutable bundle."""
+
+    interval: float = 600.0
+    max_time: float = 14 * 86400.0
+    seed: int = 0
+    #: "online" (fit §3 models from observations), "oracle" (ground truth),
+    #: or "noisy" (oracle with injected, progress-decaying errors; Fig. 15).
+    estimator_mode: str = "online"
+    convergence_error: float = 0.0
+    speed_error: float = 0.0
+    stragglers: StragglerConfig = field(default_factory=StragglerConfig)
+    #: Parameter partitioner governing PS load balance: "paa" or "mxnet".
+    partition_algorithm: str = "paa"
+    #: Feed each job's placement into the ground-truth speed (Fig. 10).
+    placement_aware: bool = True
+    #: Charge §5.4 checkpoint costs on (re)configuration.
+    scaling_costs: ScalingCosts = field(default_factory=ScalingCosts)
+    #: Per-container network bandwidth (bytes/s) for the speed ground truth.
+    bandwidth: float = 125e6
+    #: Loss observations fed to the estimator per job per interval.
+    loss_points_per_interval: int = 30
+    #: Multiplicative noise on measured interval speeds.
+    speed_noise_std: float = 0.03
+    #: Profiling pre-runs per job (§6.1 uses 5).
+    bootstrap_samples: int = 5
+    #: Bytes per training example, for sizing the HDFS files (§5.1).
+    example_bytes: int = 3072
+    #: Optional background-load profile (t -> reserved capacity fraction):
+    #: the non-DL share of the cluster (§7 "Various workloads"). ``None``
+    #: gives the DL scheduler the whole cluster.
+    background_load: Optional[Callable[[float], float]] = None
+    #: Keep a per-interval audit trail of the scheduler's allocations in
+    #: ``SimulationResult.decisions`` (handy for tests and debugging).
+    record_decisions: bool = False
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise SimulationError("interval must be positive")
+        if self.max_time <= 0:
+            raise SimulationError("max_time must be positive")
+        if self.estimator_mode not in ESTIMATOR_MODES:
+            raise SimulationError(
+                f"estimator_mode must be one of {ESTIMATOR_MODES}"
+            )
+        if self.partition_algorithm not in ("paa", "mxnet"):
+            raise SimulationError("partition_algorithm must be 'paa' or 'mxnet'")
+
+
+class Simulation:
+    """One simulation run: a cluster, a scheduler and a job trace."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        jobs: Sequence[JobSpec],
+        config: Optional[SimConfig] = None,
+    ):
+        if not jobs:
+            raise SimulationError("need at least one job")
+        ids = [j.job_id for j in jobs]
+        if len(set(ids)) != len(ids):
+            raise SimulationError("job ids must be unique")
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.config = config or SimConfig()
+        self.specs = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+        self._seed = RandomSource(self.config.seed)
+        self._store = ChunkStore(data_nodes=list(cluster.server_names))
+        self._injector = StragglerInjector(self.config.stragglers, self._seed)
+        self._measure_rng = self._seed.child("interval-speed").rng
+
+    # -- job lifecycle -----------------------------------------------------------
+    def _admit(self, spec: JobSpec) -> RuntimeJob:
+        cfg = self.config
+        job = RuntimeJob(
+            spec,
+            seed=self._seed,
+            bandwidth=cfg.bandwidth,
+            partition_algorithm=cfg.partition_algorithm,
+            estimator_mode=cfg.estimator_mode,
+            convergence_error=cfg.convergence_error,
+            speed_error=cfg.speed_error,
+            scaling_costs=cfg.scaling_costs,
+        )
+        job.attach_data(self._store, example_bytes=cfg.example_bytes)
+        if cfg.estimator_mode == "online":
+            job.bootstrap_speed(num_samples=cfg.bootstrap_samples)
+        return job
+
+    # -- background load (§7) -----------------------------------------------------
+    def _reserve_background(self, work_cluster: Cluster, now: float) -> None:
+        """Reserve the non-DL share of every server before scheduling."""
+        profile = self.config.background_load
+        if profile is None:
+            return
+        from repro.sim.background import clamp_fraction
+
+        fraction = clamp_fraction(profile(now))
+        if fraction <= 0:
+            return
+        for server in work_cluster:
+            demand = server.capacity * fraction
+            if not demand.is_zero():
+                server.place(("__background__", "worker", 0), demand)
+
+    # -- NIC contention ---------------------------------------------------------
+    def _nic_shares(self, layouts: Dict[str, dict]) -> Dict[str, float]:
+        """Per-task NIC bandwidth on each server, given this interval's
+        placements across *all* jobs.
+
+        The testbed's 1 GbE NIC is shared by every container on a server,
+        but only *cross-server* traffic uses it: a task's claim on the NIC
+        is weighted by the fraction of its peers that live on other
+        servers. Fully co-located jobs therefore do not contend at all --
+        this is exactly why the §4.2 packing placement wins.
+        """
+        weights: Dict[str, float] = {}
+        for layout in layouts.values():
+            total_w = sum(nw for nw, _ in layout.values())
+            total_p = sum(np_ for _, np_ in layout.values())
+            if total_w < 1 or total_p < 1:
+                continue
+            for server, (nw, np_) in layout.items():
+                remote_ps = (total_p - np_) / total_p
+                remote_workers = (total_w - nw) / total_w
+                weight = nw * remote_ps + np_ * remote_workers
+                weights[server] = weights.get(server, 0.0) + weight
+        shares: Dict[str, float] = {}
+        for server_name, weight in weights.items():
+            nic = self.cluster.server(server_name).network_bandwidth
+            shares[server_name] = nic / max(weight, 1.0)
+        return shares
+
+    # -- one interval for one job ----------------------------------------------
+    def _run_job_interval(
+        self,
+        job: RuntimeJob,
+        allocation: Optional[TaskAllocation],
+        layout,
+        now: float,
+        nic_shares: Optional[Dict[str, float]] = None,
+    ) -> None:
+        cfg = self.config
+        if allocation is None or layout is None:
+            job.note_interval(None, 0.0)
+            return
+        w, p = allocation.workers, allocation.ps
+        overhead = job.scaling_overhead(allocation)
+        run_time = max(cfg.interval - overhead, 0.0)
+        job.note_interval(allocation, overhead)
+        if run_time <= 0:
+            return
+
+        imbalance = job.imbalance_factor(p)
+        base_speed = job.truth.speed(
+            p,
+            w,
+            placement=layout if cfg.placement_aware else None,
+            imbalance=imbalance,
+            bandwidths=nic_shares if cfg.placement_aware else None,
+        )
+        episodes = self._injector.sample(w, cfg.interval)
+        if episodes:
+            plain = job.truth.speed(p, w, imbalance=imbalance)
+            degraded = effective_interval_speed(
+                job.truth, p, w, episodes, run_time, imbalance=imbalance
+            )
+            if plain > 0:
+                base_speed *= degraded / plain
+        if base_speed <= 0:
+            return
+
+        steps_before = job.steps_done
+        converged_after = job.advance(run_time, base_speed, workers=w)
+        if converged_after is not None:
+            job.completion_time = now + overhead + converged_after
+
+        if cfg.estimator_mode == "online":
+            job.record_losses(
+                steps_before, job.steps_done, cfg.loss_points_per_interval
+            )
+            noise = 1.0 + self._measure_rng.normal(0.0, cfg.speed_noise_std)
+            job.record_speed(p, w, base_speed * max(noise, 0.05))
+
+    # -- metrics -----------------------------------------------------------------
+    def _slot(
+        self,
+        now: float,
+        running: Dict[str, RuntimeJob],
+        decision_allocs: Dict[str, TaskAllocation],
+    ) -> TimeSlot:
+        tasks = 0
+        alloc_cpu = alloc_worker = alloc_ps = 0.0
+        busy_worker = busy_ps = 0.0
+        for job_id, alloc in decision_allocs.items():
+            job = running[job_id]
+            w, p = alloc.workers, alloc.ps
+            tasks += w + p
+            w_cpu = job.spec.worker_demand.get("cpu") * w
+            p_cpu = job.spec.ps_demand.get("cpu") * p
+            alloc_worker += w_cpu
+            alloc_ps += p_cpu
+            breakdown = job.truth.breakdown(
+                p, w, imbalance=job.imbalance_factor(p)
+            )
+            total = breakdown.total
+            if total > 0:
+                busy_worker += w_cpu * (breakdown.compute / total)
+                busy_ps += p_cpu * (
+                    (breakdown.transfer + breakdown.update) / total
+                )
+        alloc_cpu = alloc_worker + alloc_ps
+        return TimeSlot(
+            time=now,
+            running_jobs=len(decision_allocs),
+            running_tasks=tasks,
+            allocated_cpu=alloc_cpu,
+            busy_worker_cpu=busy_worker,
+            busy_ps_cpu=busy_ps,
+            allocated_worker_cpu=alloc_worker,
+            allocated_ps_cpu=alloc_ps,
+        )
+
+    # -- the main loop --------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        cfg = self.config
+        pending: List[JobSpec] = list(self.specs)
+        active: Dict[str, RuntimeJob] = {}
+        done: Dict[str, RuntimeJob] = {}
+        timeline: List[TimeSlot] = []
+        decisions: List[Dict[str, TaskAllocation]] = []
+        now = 0.0
+
+        while (pending or active) and now <= cfg.max_time:
+            while pending and pending[0].arrival_time <= now:
+                spec = pending.pop(0)
+                active[spec.job_id] = self._admit(spec)
+
+            if not active:
+                # Idle cluster: fast-forward to the boundary after the next
+                # arrival instead of spinning through empty intervals.
+                next_arrival = pending[0].arrival_time
+                now = math.ceil(next_arrival / cfg.interval) * cfg.interval
+                continue
+
+            views = [job.view() for job in active.values()]
+            work_cluster = self.cluster.snapshot()
+            self._reserve_background(work_cluster, now)
+            decision = self.scheduler.schedule(work_cluster, views)
+
+            nic_shares = self._nic_shares(decision.layouts)
+            for job_id, job in active.items():
+                allocation = decision.allocations.get(job_id)
+                layout = decision.layouts.get(job_id)
+                self._run_job_interval(job, allocation, layout, now, nic_shares)
+
+            timeline.append(self._slot(now, active, dict(decision.allocations)))
+            if cfg.record_decisions:
+                decisions.append(dict(decision.allocations))
+
+            for job_id in [j for j, job in active.items() if job.completed]:
+                done[job_id] = active.pop(job_id)
+            now += cfg.interval
+
+        done.update(active)  # unfinished jobs (hit max_time) included as such
+        records = {
+            job_id: JobRecord(
+                job_id=job_id,
+                model=job.spec.model_name,
+                mode=job.spec.mode,
+                arrival_time=job.spec.arrival_time,
+                completion_time=job.completion_time,
+                total_steps=job.steps_done,
+                scaling_time=job.scaling_time_total,
+                num_scalings=job.num_scalings,
+                chunks_moved=job.chunks_moved,
+            )
+            for job_id, job in done.items()
+        }
+        # Jobs never admitted (arrival beyond max_time) count as unfinished.
+        for spec in pending:
+            records[spec.job_id] = JobRecord(
+                job_id=spec.job_id,
+                model=spec.profile.name,
+                mode=spec.mode,
+                arrival_time=spec.arrival_time,
+                completion_time=None,
+                total_steps=0.0,
+                scaling_time=0.0,
+                num_scalings=0,
+                chunks_moved=0,
+            )
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            jobs=records,
+            timeline=timeline,
+            interval=cfg.interval,
+            seed=cfg.seed,
+            decisions=decisions if cfg.record_decisions else None,
+        )
+
+
+def simulate(
+    cluster: Cluster,
+    scheduler: Scheduler,
+    jobs: Sequence[JobSpec],
+    config: Optional[SimConfig] = None,
+) -> SimulationResult:
+    """Convenience one-shot wrapper around :class:`Simulation`."""
+    return Simulation(cluster, scheduler, jobs, config).run()

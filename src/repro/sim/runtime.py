@@ -1,0 +1,392 @@
+"""Per-job runtime state inside the simulator.
+
+A :class:`RuntimeJob` owns everything one training job accumulates while it
+lives in the cluster: ground-truth dynamics (step-time model, loss curve),
+the online estimators Optimus maintains for it (§3), its progress counter,
+its HDFS chunk assignment (§5.1) and its scaling history (§5.4).
+
+The estimators only ever see *observations* (noisy losses, noisy measured
+speeds); the ground truth stays on the simulator's side of the fence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.rand import RandomSource
+from repro.core.allocation import TaskAllocation
+from repro.core.convergence import ConvergenceEstimator
+from repro.core.placement import JobLayout
+from repro.core.speed import SpeedEstimator
+from repro.datastore.hdfs import ChunkAssignment, ChunkStore
+from repro.ps.blocks import blocks_from_sizes
+from repro.ps.partition import mxnet_partition, paa_partition
+from repro.schedulers.base import JobView
+from repro.workloads.job import JobSpec
+from repro.workloads.loss import LossEmitter
+from repro.workloads.speed import MODE_SYNC, StepTimeModel
+
+#: Fallback prior for jobs too young to fit a convergence curve: assume this
+#: many epochs remain (the §4.1 priority factor compensates for its bias).
+PRIOR_EPOCHS = 30.0
+
+ESTIMATOR_MODES = ("online", "oracle", "noisy")
+
+
+@dataclass
+class ScalingCosts:
+    """Checkpoint-based elastic-scaling cost model (§5.4)."""
+
+    checkpoint_bandwidth: float = 100e6  # HDFS write/read over 1 GbE
+    restart_time: float = 10.0  # pod teardown + relaunch + framework boot
+
+    def start_cost(self) -> float:
+        """Cost of (re)starting a job that was not running."""
+        return self.restart_time
+
+    def scale_cost(self, model_size_bytes: float) -> float:
+        """Cost of changing (p, w): checkpoint save + restart + restore."""
+        transfer = 2.0 * model_size_bytes / self.checkpoint_bandwidth
+        return transfer + self.restart_time
+
+
+class RuntimeJob:
+    """Mutable state of one job inside a running simulation."""
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        seed: RandomSource,
+        bandwidth: float = 125e6,
+        partition_algorithm: str = "paa",
+        estimator_mode: str = "online",
+        convergence_error: float = 0.0,
+        speed_error: float = 0.0,
+        loss_noise_std: float = 0.015,
+        outlier_rate: float = 0.01,
+        scaling_costs: Optional[ScalingCosts] = None,
+    ):
+        if estimator_mode not in ESTIMATOR_MODES:
+            raise SimulationError(
+                f"estimator_mode must be one of {ESTIMATOR_MODES}"
+            )
+        self.spec = spec
+        self.estimator_mode = estimator_mode
+        self.partition_algorithm = partition_algorithm
+        self.scaling_costs = scaling_costs or ScalingCosts()
+        self._seed = seed.child(f"job-{spec.job_id}")
+
+        # Ground truth.
+        self.truth = StepTimeModel(spec.profile, spec.mode, bandwidth=bandwidth)
+        self.steps_per_epoch = spec.steps_per_epoch()
+        self.true_total_steps = spec.total_steps_to_converge()
+        self.emitter = LossEmitter(
+            spec.profile.loss,
+            self.steps_per_epoch,
+            noise_std=loss_noise_std,
+            outlier_rate=outlier_rate,
+            seed=self._seed.child("loss"),
+        )
+
+        # Online estimators (§3).
+        self.convergence = ConvergenceEstimator(
+            threshold=spec.threshold,
+            steps_per_epoch=self.steps_per_epoch,
+            patience=spec.patience,
+        )
+        self.speed_estimator = SpeedEstimator(
+            mode=spec.mode,
+            global_batch=spec.profile.global_batch,
+        )
+
+        # Synthetic-error mode (Fig. 15): fixed sign per job, magnitude
+        # decaying with progress.
+        rng = self._seed.child("errors").rng
+        self._conv_error = convergence_error * (1 if rng.random() < 0.5 else -1)
+        self._speed_error = speed_error * (1 if rng.random() < 0.5 else -1)
+
+        # Progress / lifecycle. ``steps_done`` counts raw training steps
+        # (what the speed function predicts); ``effective_steps`` counts
+        # convergence-equivalent steps -- asynchronous training with many
+        # workers suffers parameter staleness and needs extra raw steps for
+        # the same loss progress (§5.2).
+        self.steps_done = 0.0
+        self.effective_steps = 0.0
+        self._last_mapping = (0.0, 0.0, 1.0)  # (raw_start, eff_start, penalty)
+        self.completed = False
+        self.completion_time: Optional[float] = None
+        self.started = False
+        self.last_allocation = TaskAllocation(0, 0)
+        self.was_running = False
+        self.scaling_time_total = 0.0
+        self.num_scalings = 0
+
+        # Observed-convergence state (§2.1): the running system stops the
+        # job when the *observed* per-epoch training-loss decrease stays
+        # below the owner threshold for `patience` epochs. Epoch losses are
+        # epoch averages, so their noise is much smaller than single
+        # observations'.
+        self._epoch_losses: List[float] = []
+        self._epoch_loss_max = 0.0
+        self._below_threshold_streak = 0
+        self._epoch_rng = self._seed.child("epoch-loss").rng
+        self._epoch_noise_std = loss_noise_std / math.sqrt(25.0)
+        #: Safety valve: force-stop far beyond the profile's target.
+        self.max_steps = (
+            max(3.0 * spec.profile.target_epochs, spec.profile.target_epochs + 50)
+            * self.steps_per_epoch
+        )
+
+        # Data serving (§5.1).
+        self.chunk_assignment: Optional[ChunkAssignment] = None
+        self.chunks_moved = 0
+
+        self._imbalance_cache: Dict[int, float] = {}
+        self._speed_rng = self._seed.child("speed-measure").rng
+
+    # -- data serving --------------------------------------------------------
+    def attach_data(self, store: ChunkStore, example_bytes: int = 3072) -> None:
+        """Register the job's training data in the chunk store."""
+        size = max(
+            int(self.spec.profile.dataset_examples * self.spec.dataset_scale)
+            * example_bytes,
+            1,
+        )
+        name = f"data/{self.spec.job_id}"
+        if name not in store:
+            store.add_file(name, size)
+        self.chunk_assignment = ChunkAssignment(store.file(name), 1)
+
+    def rebalance_data(self, num_workers: int) -> int:
+        if self.chunk_assignment is None:
+            return 0
+        moved = self.chunk_assignment.rebalance(num_workers)
+        self.chunks_moved += moved
+        return moved
+
+    # -- PS load balance (§5.3) -------------------------------------------------
+    def imbalance_factor(self, num_ps: int) -> float:
+        """``rho_max * p`` of the job's parameter partition over *num_ps*."""
+        if num_ps < 1:
+            raise SimulationError("num_ps must be >= 1")
+        if num_ps not in self._imbalance_cache:
+            blocks = blocks_from_sizes(self.spec.profile.parameter_blocks())
+            if self.partition_algorithm == "paa":
+                assignment = paa_partition(blocks, num_ps)
+            else:
+                assignment = mxnet_partition(
+                    blocks, num_ps, seed=self._seed.child(f"mxnet-{num_ps}")
+                )
+            self._imbalance_cache[num_ps] = assignment.imbalance_factor
+        return self._imbalance_cache[num_ps]
+
+    # -- profiling / observation feeds -------------------------------------------
+    def bootstrap_speed(self, num_samples: int = 5, max_grid: int = 16) -> None:
+        """The §3.2 pre-run: profile a few (p, w) configurations."""
+        self.speed_estimator.bootstrap(
+            measure=lambda p, w: self.truth.measured_speed(
+                p, w, seed=self._speed_rng
+            ),
+            max_ps=max_grid,
+            max_workers=max_grid,
+            num_samples=num_samples,
+            seed=self._seed.child("bootstrap"),
+        )
+
+    def record_losses(self, start_step: float, end_step: float, max_points: int) -> None:
+        """Feed the convergence estimator losses from the progressed range.
+
+        Losses are *observed* at the job's convergence-equivalent position
+        (stale asynchronous steps make less progress, §5.2) but stamped with
+        raw step numbers -- which is exactly what a real worker reports.
+        """
+        start, end = int(start_step), int(end_step)
+        if end <= start or max_points < 1:
+            return
+        raw_start, eff_start, penalty = self._last_mapping
+        stride = max(1, (end - start) // max_points)
+        for step in range(start, end, stride):
+            eff = eff_start + max(step - raw_start, 0) / penalty
+            obs = self.emitter.observe(int(eff))
+            self.convergence.add_observation(step, obs.loss)
+
+    def record_speed(self, p: int, w: int, observed_speed: float) -> None:
+        if observed_speed > 0:
+            self.speed_estimator.add_sample(p, w, observed_speed)
+
+    # -- progress and observed convergence (§2.1) -------------------------------
+    def staleness_penalty(self, workers: int) -> float:
+        """Raw steps needed per unit of convergence progress (>= 1).
+
+        Asynchronous training with many workers updates against stale
+        parameters, so it needs extra steps to converge (§5.2); synchronous
+        training is unaffected.
+        """
+        if self.spec.mode == MODE_SYNC or workers <= 1:
+            return 1.0
+        return 1.0 + self.spec.profile.staleness_factor * (workers - 1)
+
+    def advance(
+        self, run_time: float, speed: float, workers: int = 1
+    ) -> Optional[float]:
+        """Advance training by ``speed * run_time`` raw steps.
+
+        The job stops when the *observed* per-epoch loss decrease has stayed
+        below the owner threshold for ``patience`` consecutive epochs --
+        evaluated epoch by epoch as boundaries are crossed, exactly like the
+        running system would. Returns the number of seconds into the window
+        at which the job converged, or ``None`` if it is still running.
+        """
+        if self.completed:
+            return 0.0
+        if run_time <= 0 or speed <= 0:
+            return None
+        penalty = self.staleness_penalty(workers)
+        eff_speed = speed / penalty
+        raw_start = self.steps_done
+        eff_start = self.effective_steps
+        self._last_mapping = (raw_start, eff_start, penalty)
+        eff_target = eff_start + eff_speed * run_time
+        epoch = int(eff_start // self.steps_per_epoch) + 1
+        while epoch * self.steps_per_epoch <= eff_target:
+            boundary = epoch * self.steps_per_epoch
+            if self._epoch_converged(epoch) or boundary >= self.max_steps:
+                self.effective_steps = boundary
+                self.steps_done = raw_start + (boundary - eff_start) * penalty
+                self.completed = True
+                return (boundary - eff_start) / eff_speed
+            epoch += 1
+        self.effective_steps = eff_target
+        self.steps_done = raw_start + speed * run_time
+        return None
+
+    def _epoch_converged(self, epoch: int) -> bool:
+        """Record epoch *epoch*'s observed loss; True when the rule fires."""
+        while len(self._epoch_losses) < epoch:
+            e = len(self._epoch_losses) + 1
+            value = self.emitter.true_loss(e * self.steps_per_epoch)
+            if self._epoch_noise_std > 0:
+                value *= max(
+                    1e-3, 1.0 + self._epoch_rng.normal(0.0, self._epoch_noise_std)
+                )
+            self._epoch_losses.append(float(value))
+            self._epoch_loss_max = max(self._epoch_loss_max, value)
+            if len(self._epoch_losses) >= 2 and self._epoch_loss_max > 0:
+                decrease = (
+                    self._epoch_losses[-2] - self._epoch_losses[-1]
+                ) / self._epoch_loss_max
+                if decrease < self.spec.threshold:
+                    self._below_threshold_streak += 1
+                else:
+                    self._below_threshold_streak = 0
+        return self._below_threshold_streak >= self.spec.patience
+
+    # -- estimates served to the scheduler -------------------------------------
+    def _online_remaining(self) -> float:
+        # A still-running job needs at least `patience` more epochs before
+        # the §2.1 stopping rule can possibly fire, no matter what the fit
+        # says -- without this floor a fit that (wrongly) predicts "already
+        # converged" would zero the job's marginal gain and starve it.
+        floor = self.spec.patience * self.steps_per_epoch
+        if self.convergence.can_fit:
+            try:
+                return max(
+                    self.convergence.remaining_steps(self.steps_done), floor
+                )
+            except Exception:
+                pass
+        prior_total = PRIOR_EPOCHS * self.steps_per_epoch
+        return max(prior_total - self.steps_done, floor)
+
+    def _progress_fraction(self) -> float:
+        if self.true_total_steps <= 0:
+            return 1.0
+        return min(self.effective_steps / self.true_total_steps, 1.0)
+
+    def estimated_remaining_steps(self) -> float:
+        floor = 0.0 if self.completed else self.spec.patience * self.steps_per_epoch
+        if self.estimator_mode == "oracle":
+            return max(self.true_total_steps - self.effective_steps, floor)
+        if self.estimator_mode == "noisy":
+            decay = 1.0 - self._progress_fraction()
+            error = self._conv_error * decay
+            true_remaining = max(self.true_total_steps - self.effective_steps, 0.0)
+            return max(true_remaining * (1.0 + error), floor)
+        return self._online_remaining()
+
+    def speed_function(self) -> Callable[[int, int], float]:
+        if self.estimator_mode == "online":
+            if self.speed_estimator.can_fit:
+                try:
+                    return self.speed_estimator.speed_function()
+                except Exception:
+                    pass
+            return lambda p, w: self.truth.speed(p, w)  # pre-bootstrap corner
+        if self.estimator_mode == "noisy":
+            # A speed-estimation error of magnitude e perturbs every
+            # configuration's predicted speed independently (a mis-fitted
+            # surface), not by one global factor -- a global factor would
+            # preserve the marginal-gain ordering and be invisible to the
+            # allocator. The perturbation decays with progress (§6.3).
+            decay = 1.0 - self._progress_fraction()
+            magnitude = abs(self._speed_error) * decay
+            job_key = self.spec.job_id
+
+            def noisy_speed(p: int, w: int) -> float:
+                import zlib
+
+                digest = zlib.crc32(f"{job_key}:{p}:{w}".encode("utf8"))
+                direction = (digest % 20001) / 10000.0 - 1.0  # in [-1, 1]
+                return self.truth.speed(p, w) * max(
+                    1.0 + magnitude * direction, 0.05
+                )
+
+            return noisy_speed
+        return lambda p, w: self.truth.speed(p, w)
+
+    def view(self) -> JobView:
+        """The scheduler-facing snapshot for this interval."""
+        return JobView(
+            spec=self.spec,
+            remaining_steps=self.estimated_remaining_steps(),
+            speed=self.speed_function(),
+            observation_count=self.convergence.observation_count,
+            progress=self._progress_fraction(),
+            current_allocation=self.last_allocation if self.was_running
+            else TaskAllocation(0, 0),
+            rescale_cost=self.scaling_costs.scale_cost(
+                self.spec.profile.model_size_bytes
+            ),
+        )
+
+    # -- scaling cost --------------------------------------------------------
+    def scaling_overhead(self, new_allocation: TaskAllocation) -> float:
+        """Seconds lost at the interval start for this (re)configuration."""
+        if not self.started:
+            return self.scaling_costs.start_cost()
+        if not self.was_running:
+            # Resuming from a pause restores the checkpoint.
+            return self.scaling_costs.scale_cost(self.spec.profile.model_size_bytes)
+        if new_allocation != self.last_allocation:
+            return self.scaling_costs.scale_cost(self.spec.profile.model_size_bytes)
+        return 0.0
+
+    def note_interval(
+        self, allocation: Optional[TaskAllocation], overhead: float
+    ) -> None:
+        """Update lifecycle bookkeeping after an interval's decision."""
+        if allocation is None:
+            self.was_running = False
+            return
+        if overhead > 0:
+            if self.started:
+                self.num_scalings += 1
+            self.scaling_time_total += overhead
+        self.started = True
+        self.was_running = True
+        if allocation != self.last_allocation:
+            self.rebalance_data(allocation.workers)
+        self.last_allocation = allocation

@@ -1,0 +1,135 @@
+"""Loss curves with learning-rate drops (§7 "Convergence estimation").
+
+Production training schedules often cut the learning rate at predefined
+epochs (e.g. ResNet training multiplies it by 0.1), which makes the loss
+curve *piecewise*: each cut triggers a fresh fast descent towards a lower
+plateau that the single Eqn-1 family cannot describe. The paper's proposed
+remedy is to "treat the model training after learning rate adjustment as a
+new training job and restart online fitting" -- implemented on the
+estimator side by
+:class:`repro.core.convergence.ConvergenceEstimator`'s ``reset_on_drop``
+mode.
+
+This module provides the matching ground truth: a
+:class:`SteppedLossCurve` gluing per-phase
+:class:`~repro.workloads.profiles.LossCurveTruth` segments together. It
+duck-types the curve interface the emitter and the simulator use
+(``loss`` / ``epoch_decrease`` / ``epochs_to_converge``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.profiles import DEFAULT_PATIENCE, MAX_EPOCHS, LossCurveTruth
+
+
+@dataclass(frozen=True)
+class SteppedLossCurve:
+    """A piecewise loss curve: one segment per learning-rate phase.
+
+    ``segments`` is ``[(start_epoch, curve), ...]`` with the first start at
+    0 and strictly ascending starts. Within segment ``i`` the loss is the
+    segment-entry value times the segment curve's own (normalised) decay:
+
+        l(E) = v_i * curve_i.loss(E - start_i)
+
+    so the overall curve is continuous at the phase boundary and then drops
+    *faster* than the old tail would -- exactly the Fig-1-style kink a
+    learning-rate cut produces.
+    """
+
+    segments: Tuple[Tuple[float, LossCurveTruth], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ConfigurationError("need at least one segment")
+        starts = [start for start, _ in self.segments]
+        if starts[0] != 0:
+            raise ConfigurationError("the first segment must start at epoch 0")
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ConfigurationError("segment starts must be strictly ascending")
+
+    def _segment_entries(self) -> List[Tuple[float, float, LossCurveTruth]]:
+        """(start, entry_value, curve) per segment."""
+        entries = []
+        value = 1.0
+        for i, (start, curve) in enumerate(self.segments):
+            entries.append((start, value, curve))
+            if i + 1 < len(self.segments):
+                next_start = self.segments[i + 1][0]
+                value = value * curve.loss(next_start - start)
+        return entries
+
+    def loss(self, epoch: float) -> float:
+        """Normalised loss at (possibly fractional) *epoch* (l(0) = 1)."""
+        if epoch < 0:
+            raise ConfigurationError("epoch must be non-negative")
+        chosen = None
+        for start, value, curve in self._segment_entries():
+            if epoch >= start:
+                chosen = (start, value, curve)
+            else:
+                break
+        assert chosen is not None
+        start, value, curve = chosen
+        return value * curve.loss(epoch - start)
+
+    def epoch_decrease(self, epoch: int) -> float:
+        if epoch < 1:
+            raise ConfigurationError("epoch numbers start at 1")
+        return self.loss(epoch - 1) - self.loss(epoch)
+
+    def epochs_to_converge(
+        self, threshold: float, patience: int = DEFAULT_PATIENCE
+    ) -> int:
+        """§2.1's stopping rule evaluated on the piecewise curve.
+
+        A learning-rate drop re-arms the rule: the post-drop descent resets
+        the below-threshold streak, so convergence is correctly deferred
+        past the drop.
+        """
+        if threshold <= 0:
+            raise ConfigurationError("threshold must be positive")
+        if patience < 1:
+            raise ConfigurationError("patience must be at least 1")
+        consecutive = 0
+        for epoch in range(1, MAX_EPOCHS + 1):
+            if self.epoch_decrease(epoch) < threshold:
+                consecutive += 1
+                if consecutive >= patience:
+                    return epoch
+            else:
+                consecutive = 0
+        return MAX_EPOCHS
+
+
+def with_lr_drops(
+    base: LossCurveTruth,
+    drop_epochs: Sequence[float],
+    descent_fraction: float = 0.5,
+    exp_rate: float = 0.5,
+) -> SteppedLossCurve:
+    """Attach standard learning-rate drops to a base curve.
+
+    Each drop at epoch ``d`` starts a fresh phase whose loss decays (in
+    relative terms) by ``descent_fraction`` towards its new plateau with a
+    fast exponential of rate ``exp_rate``, modelling the sharp descent a
+    0.1x learning-rate cut produces.
+    """
+    if not 0 < descent_fraction < 1:
+        raise ConfigurationError("descent_fraction must be in (0, 1)")
+    segments: List[Tuple[float, LossCurveTruth]] = [(0.0, base)]
+    for drop in sorted(float(d) for d in drop_epochs):
+        if drop <= 0:
+            raise ConfigurationError("drop epochs must be positive")
+        phase = LossCurveTruth(
+            plateau=1.0 - descent_fraction,
+            exp_weight=descent_fraction * 0.8,
+            exp_rate=exp_rate,
+            tail_scale=base.tail_scale,
+        )
+        segments.append((drop, phase))
+    return SteppedLossCurve(segments=tuple(segments))

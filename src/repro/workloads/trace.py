@@ -1,0 +1,100 @@
+"""Workload-trace serialisation: save and replay job traces as JSON.
+
+The paper's simulator is trace-driven (§6.1). This module lets a generated
+workload (or a hand-written one) be persisted and replayed exactly, so
+experiments are reproducible across machines and the CLI can operate on
+trace files.
+
+Profiles are referenced by zoo name; all per-job fields (mode, threshold,
+demands, arrival, static requests, dataset scale) round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Union
+
+from repro.cluster.resources import ResourceVector
+from repro.common.errors import ConfigurationError
+from repro.workloads.job import JobSpec
+from repro.workloads.profiles import get_profile
+
+TRACE_VERSION = 1
+
+
+def job_to_dict(job: JobSpec) -> Dict:
+    """A JSON-ready description of one job."""
+    return {
+        "job_id": job.job_id,
+        "model": job.profile.name,
+        "mode": job.mode,
+        "threshold": job.threshold,
+        "patience": job.patience,
+        "worker_demand": dict(job.worker_demand.items()),
+        "ps_demand": dict(job.ps_demand.items()),
+        "dataset_scale": job.dataset_scale,
+        "arrival_time": job.arrival_time,
+        "requested_workers": job.requested_workers,
+        "requested_ps": job.requested_ps,
+    }
+
+
+def job_from_dict(data: Dict) -> JobSpec:
+    """Rebuild a job from :func:`job_to_dict` output."""
+    try:
+        return JobSpec(
+            job_id=data["job_id"],
+            profile=get_profile(data["model"]),
+            mode=data["mode"],
+            threshold=data["threshold"],
+            patience=data.get("patience", 2),
+            worker_demand=ResourceVector(data["worker_demand"]),
+            ps_demand=ResourceVector(data["ps_demand"]),
+            dataset_scale=data.get("dataset_scale", 1.0),
+            arrival_time=data.get("arrival_time", 0.0),
+            requested_workers=data.get("requested_workers", 4),
+            requested_ps=data.get("requested_ps", 4),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(f"trace record missing field {missing}") from None
+
+
+def jobs_to_json(jobs: Sequence[JobSpec], indent: int = 2) -> str:
+    """Serialise a workload trace."""
+    payload = {
+        "version": TRACE_VERSION,
+        "jobs": [job_to_dict(job) for job in jobs],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def jobs_from_json(payload: Union[str, bytes]) -> List[JobSpec]:
+    """Load a workload trace produced by :func:`jobs_to_json`."""
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid trace JSON: {exc}") from None
+    if not isinstance(data, dict) or "jobs" not in data:
+        raise ConfigurationError("trace must be an object with a 'jobs' list")
+    version = data.get("version", TRACE_VERSION)
+    if version != TRACE_VERSION:
+        raise ConfigurationError(
+            f"unsupported trace version {version!r} (supported: {TRACE_VERSION})"
+        )
+    jobs = [job_from_dict(record) for record in data["jobs"]]
+    ids = [job.job_id for job in jobs]
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError("trace contains duplicate job ids")
+    return jobs
+
+
+def save_trace(jobs: Sequence[JobSpec], path: str) -> None:
+    """Write a workload trace to *path*."""
+    with open(path, "w") as handle:
+        handle.write(jobs_to_json(jobs))
+
+
+def load_trace(path: str) -> List[JobSpec]:
+    """Read a workload trace from *path*."""
+    with open(path) as handle:
+        return jobs_from_json(handle.read())

@@ -1,0 +1,148 @@
+"""Validation-set metrics: epoch-end evaluation streams (§2.1, Fig. 1).
+
+The paper bases *scheduling* on training loss (cheap, available every
+step), but Fig. 1 also plots training/validation accuracy and validation
+loss, and §2.1 notes that validation evaluation happens "only when
+necessary (e.g., at the end of each epoch)". This module provides that
+side-channel for the Fig-1 reproduction and for tests that need the "no
+overfitting for production models" property (§2.1: training-loss
+convergence implies convergence of the other metrics).
+
+Model
+-----
+Given the normalised training loss ``l(E)``:
+
+* validation loss tracks training loss with a small, bounded generalisation
+  gap: ``l_val(E) = l(E) * (1 + gap * (1 - l(E)))`` -- the gap grows as the
+  model fits the training set, but stays proportional (no divergence, i.e.
+  no overfitting);
+* accuracy saturates as the loss falls:
+  ``acc(E) = max_accuracy * (1 - l(E)^sharpness)``, with validation accuracy
+  scaled down by the same relative gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rand import SeedLike, spawn_rng
+
+
+@dataclass(frozen=True)
+class EpochMetrics:
+    """One epoch-end evaluation record."""
+
+    epoch: int
+    train_loss: float
+    validation_loss: float
+    train_accuracy: float
+    validation_accuracy: float
+
+
+class ValidationEmitter:
+    """Epoch-end metric streams derived from a ground-truth loss curve.
+
+    Parameters
+    ----------
+    curve:
+        Any object with ``loss(epoch) -> normalised loss`` (a
+        :class:`~repro.workloads.profiles.LossCurveTruth` or
+        :class:`~repro.workloads.lr_schedule.SteppedLossCurve`).
+    initial_loss:
+        Raw loss scale (losses are emitted in raw units, like the training
+        stream).
+    max_accuracy:
+        Asymptotic training accuracy of the converged model.
+    generalisation_gap:
+        Relative validation penalty at full convergence (0.05 = val loss 5%
+        above train loss; production models keep this small, §2.1).
+    sharpness:
+        How quickly accuracy saturates as loss falls.
+    noise_std:
+        Multiplicative evaluation noise (validation sets are finite).
+    """
+
+    def __init__(
+        self,
+        curve,
+        initial_loss: float = 6.0,
+        max_accuracy: float = 0.95,
+        generalisation_gap: float = 0.05,
+        sharpness: float = 2.0,
+        noise_std: float = 0.004,
+        seed: SeedLike = None,
+    ):
+        if initial_loss <= 0:
+            raise ConfigurationError("initial_loss must be positive")
+        if not 0 < max_accuracy <= 1:
+            raise ConfigurationError("max_accuracy must be in (0, 1]")
+        if not 0 <= generalisation_gap < 1:
+            raise ConfigurationError("generalisation_gap must be in [0, 1)")
+        if sharpness <= 0:
+            raise ConfigurationError("sharpness must be positive")
+        if noise_std < 0:
+            raise ConfigurationError("noise_std must be non-negative")
+        self.curve = curve
+        self.initial_loss = float(initial_loss)
+        self.max_accuracy = float(max_accuracy)
+        self.generalisation_gap = float(generalisation_gap)
+        self.sharpness = float(sharpness)
+        self.noise_std = float(noise_std)
+        self._rng = spawn_rng(seed, "validation-noise")
+
+    # -- smooth values ----------------------------------------------------------
+    def true_metrics(self, epoch: int) -> EpochMetrics:
+        """Noise-free epoch-end metrics."""
+        if epoch < 0:
+            raise ConfigurationError("epoch must be non-negative")
+        loss = self.curve.loss(float(epoch))
+        fit = 1.0 - loss  # how fitted the model is, in [0, 1)
+        val_loss = loss * (1.0 + self.generalisation_gap * fit)
+        train_acc = self.max_accuracy * (1.0 - loss**self.sharpness)
+        val_acc = train_acc * (1.0 - self.generalisation_gap * fit)
+        return EpochMetrics(
+            epoch=int(epoch),
+            train_loss=loss * self.initial_loss,
+            validation_loss=val_loss * self.initial_loss,
+            train_accuracy=max(train_acc, 0.0),
+            validation_accuracy=max(val_acc, 0.0),
+        )
+
+    def observe(self, epoch: int) -> EpochMetrics:
+        """One noisy epoch-end evaluation."""
+        true = self.true_metrics(epoch)
+        if self.noise_std == 0:
+            return true
+
+        def jitter(value: float) -> float:
+            return float(
+                value * max(1e-6, 1.0 + self._rng.normal(0.0, self.noise_std))
+            )
+
+        return EpochMetrics(
+            epoch=true.epoch,
+            train_loss=jitter(true.train_loss),
+            validation_loss=jitter(true.validation_loss),
+            train_accuracy=min(jitter(true.train_accuracy), 1.0),
+            validation_accuracy=min(jitter(true.validation_accuracy), 1.0),
+        )
+
+    def history(self, epochs: int) -> List[EpochMetrics]:
+        """Epoch-end evaluations for epochs ``0 .. epochs`` inclusive."""
+        if epochs < 0:
+            raise ConfigurationError("epochs must be non-negative")
+        return [self.observe(e) for e in range(epochs + 1)]
+
+
+def no_overfitting(history: Sequence[EpochMetrics], tolerance: float = 0.0) -> bool:
+    """§2.1's production-model property: the validation loss never diverges.
+
+    True when validation loss decreases alongside training loss over the
+    run (the final validation loss is within *tolerance* of its minimum).
+    """
+    if not history:
+        raise ConfigurationError("history must be non-empty")
+    val = [m.validation_loss for m in history]
+    return val[-1] <= min(val) * (1.0 + tolerance) + 1e-12

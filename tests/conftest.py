@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cluster import Cluster, cpu_mem
+from repro.workloads import MODEL_ZOO, StepTimeModel, make_job
+
+
+@pytest.fixture
+def small_cluster():
+    """Four 16-CPU/64-GB servers: enough for interesting placements."""
+    return Cluster.homogeneous(4, cpu_mem(16, 64))
+
+
+@pytest.fixture
+def testbed_cluster():
+    """The paper's 13-server testbed shape."""
+    return Cluster.testbed()
+
+
+@pytest.fixture
+def resnet_profile():
+    return MODEL_ZOO["resnet-50"]
+
+
+@pytest.fixture
+def cnn_profile():
+    return MODEL_ZOO["cnn-rand"]
+
+
+@pytest.fixture
+def sync_truth(resnet_profile):
+    return StepTimeModel(resnet_profile, "sync")
+
+
+@pytest.fixture
+def async_truth(resnet_profile):
+    return StepTimeModel(resnet_profile, "async")
+
+
+@pytest.fixture
+def sync_job():
+    return make_job("resnet-50", mode="sync", job_id="sync-job", dataset_scale=0.01)
+
+
+@pytest.fixture
+def async_job():
+    return make_job("cnn-rand", mode="async", job_id="async-job")

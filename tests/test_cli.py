@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_models_command(self):
+        args = build_parser().parse_args(["models"])
+        assert args.command == "models"
+
+    def test_speed_validates_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["speed", "not-a-model"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.schedulers == ["optimus", "drf", "tetris"]
+        assert args.estimator == "online"
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet-50" in out
+        assert "deepspeech2" in out
+
+    def test_speed(self, capsys):
+        assert main(["speed", "cnn-rand", "--max-tasks", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cnn-rand" in out
+        assert "p=1" in out
+
+    def test_partition(self, capsys):
+        assert main(["partition", "resnet-50", "--num-ps", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "paa" in out and "mxnet" in out
+
+    def test_compare_tiny(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--schedulers", "optimus", "drf",
+                "--jobs", "2",
+                "--servers", "4",
+                "--window", "600",
+                "--estimator", "oracle",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimus" in out and "drf" in out

@@ -1,0 +1,72 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    days,
+    format_bytes,
+    format_duration,
+    hours,
+    minutes,
+)
+
+
+class TestConstants:
+    def test_binary_ladder(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+
+class TestConversions:
+    def test_minutes(self):
+        assert minutes(10) == 600.0
+
+    def test_hours(self):
+        assert hours(2) == 7200.0
+
+    def test_days(self):
+        assert days(1) == 86400.0
+
+    def test_fractional(self):
+        assert minutes(0.5) == 30.0
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512.0 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.0 KiB"
+
+    def test_mib(self):
+        assert format_bytes(128 * MB) == "128.0 MiB"
+
+    def test_gib(self):
+        assert format_bytes(3 * GB) == "3.0 GiB"
+
+    def test_huge_values_use_tib(self):
+        assert format_bytes(5000 * GB).endswith("TiB")
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(41.23) == "41.2s"
+
+    def test_minutes_seconds(self):
+        assert format_duration(125) == "2m 05s"
+
+    def test_hours_minutes(self):
+        assert format_duration(3 * 3600 + 240) == "3h 04m"
+
+    def test_days(self):
+        assert format_duration(2 * 86400 + 3 * 3600) == "2d 03h"
+
+    def test_negative(self):
+        assert format_duration(-90) == "-1m 30s"
+
+    def test_zero(self):
+        assert format_duration(0) == "0.0s"

@@ -1,0 +1,106 @@
+"""Tests for the online speed estimator (§3.2)."""
+
+import pytest
+
+from repro.common.errors import FittingError
+from repro.core.speed import SpeedEstimator
+from repro.workloads import MODEL_ZOO, StepTimeModel
+
+
+@pytest.fixture
+def truth():
+    return StepTimeModel(MODEL_ZOO["resnet-50"], "sync")
+
+
+@pytest.fixture
+def estimator():
+    return SpeedEstimator("sync", global_batch=256)
+
+
+class TestSampleManagement:
+    def test_add_and_count(self, estimator):
+        estimator.add_sample(2, 4, 0.5)
+        assert estimator.sample_count == 1
+        assert estimator.samples == ((2, 4, 0.5),)
+
+    def test_invalid_samples_rejected(self, estimator):
+        with pytest.raises(FittingError):
+            estimator.add_sample(0, 4, 0.5)
+        with pytest.raises(FittingError):
+            estimator.add_sample(2, 4, 0.0)
+
+    def test_window_caps_samples(self):
+        estimator = SpeedEstimator("async", max_samples=5)
+        for i in range(10):
+            estimator.add_sample(1, 1, float(i + 1))
+        assert estimator.sample_count == 5
+        # Oldest samples dropped first.
+        assert estimator.samples[0][2] == 6.0
+
+    def test_sync_requires_global_batch(self):
+        with pytest.raises(FittingError):
+            SpeedEstimator("sync")
+
+
+class TestBootstrap:
+    def test_bootstrap_profiles_configurations(self, estimator, truth):
+        configs = estimator.bootstrap(
+            measure=lambda p, w: truth.speed(p, w), num_samples=6, seed=1
+        )
+        assert len(configs) == 6
+        assert estimator.sample_count == 6
+        assert estimator.can_fit
+
+    def test_bootstrap_reproducible(self, truth):
+        def run():
+            est = SpeedEstimator("sync", global_batch=256)
+            return est.bootstrap(
+                measure=lambda p, w: truth.speed(p, w), num_samples=5, seed=3
+            )
+
+        assert run() == run()
+
+
+class TestFitAndPredict:
+    def test_predict_close_to_truth(self, estimator, truth):
+        estimator.bootstrap(
+            measure=lambda p, w: truth.speed(p, w), num_samples=10, seed=2
+        )
+        for p, w in ((2, 2), (8, 8), (12, 6)):
+            assert estimator.predict(p, w) == pytest.approx(
+                truth.speed(p, w), rel=0.15
+            )
+
+    def test_fit_caches_until_new_sample(self, estimator, truth):
+        estimator.bootstrap(measure=lambda p, w: truth.speed(p, w), seed=2)
+        fit = estimator.fit()
+        assert estimator.fit() is fit
+        estimator.add_sample(3, 3, truth.speed(3, 3))
+        assert estimator.fit() is not fit
+
+    def test_cannot_fit_early(self, estimator):
+        estimator.add_sample(1, 1, 0.1)
+        with pytest.raises(FittingError):
+            estimator.fit()
+
+    def test_speed_function_is_frozen(self, estimator, truth):
+        estimator.bootstrap(measure=lambda p, w: truth.speed(p, w), seed=2)
+        fn = estimator.speed_function()
+        before = fn(4, 4)
+        # New samples don't change the frozen closure.
+        estimator.add_sample(4, 4, 100.0)
+        assert fn(4, 4) == before
+
+    def test_online_calibration_improves_fit(self, truth):
+        """Feeding live interval measurements refines the bootstrap fit."""
+        est = SpeedEstimator("sync", global_batch=256)
+        est.bootstrap(
+            measure=lambda p, w: truth.measured_speed(p, w, seed=p * 7 + w, noise_std=0.15),
+            num_samples=5,
+            seed=1,
+        )
+        err_before = abs(est.predict(10, 10) - truth.speed(10, 10)) / truth.speed(10, 10)
+        for _ in range(20):
+            est.add_sample(10, 10, truth.speed(10, 10))
+        err_after = abs(est.predict(10, 10) - truth.speed(10, 10)) / truth.speed(10, 10)
+        assert err_after <= err_before + 1e-9

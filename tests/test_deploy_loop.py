@@ -1,0 +1,139 @@
+"""Tests for the deployment control loop (§5.5)."""
+
+import pytest
+
+from repro.cluster import cpu_mem
+from repro.common.errors import SchedulingError
+from repro.deploy import ControlLoop, cluster_from_api
+from repro.k8s import APIServer, PodSpec
+from repro.schedulers import JobView, OptimusScheduler
+from repro.workloads import StepTimeModel, make_job
+
+
+@pytest.fixture
+def api():
+    server = APIServer()
+    for i in range(5):
+        server.register_node(f"n{i}", cpu_mem(16, 64))
+    return server
+
+
+def view(job_id, model="seq2seq", remaining=50_000):
+    spec = make_job(model, mode="sync", job_id=job_id)
+    truth = StepTimeModel(spec.profile, "sync")
+    return JobView(
+        spec=spec,
+        remaining_steps=remaining,
+        speed=lambda p, w, t=truth: t.speed(p, w),
+        observation_count=100,
+    )
+
+
+class TestClusterFromApi:
+    def test_capacity_mirrors_nodes(self, api):
+        cluster = cluster_from_api(api)
+        assert len(cluster) == 5
+        assert cluster.total_capacity == cpu_mem(80, 320)
+
+    def test_unmanaged_pods_occupy_capacity(self, api):
+        api.create_pod(
+            PodSpec(
+                name="tenant/worker-0",
+                job_id="tenant",
+                role="worker",
+                index=0,
+                demand=cpu_mem(8, 16),
+            )
+        )
+        api.bind_pod("tenant/worker-0", "n0")
+        cluster = cluster_from_api(api)
+        assert cluster.server("n0").available == cpu_mem(8, 48)
+
+    def test_managed_pods_excluded(self, api):
+        api.create_pod(
+            PodSpec(
+                name="mine/worker-0",
+                job_id="mine",
+                role="worker",
+                index=0,
+                demand=cpu_mem(8, 16),
+            )
+        )
+        api.bind_pod("mine/worker-0", "n0")
+        cluster = cluster_from_api(api, managed_jobs={"mine"})
+        assert cluster.server("n0").available == cpu_mem(16, 64)
+
+    def test_empty_api_rejected(self):
+        with pytest.raises(SchedulingError):
+            cluster_from_api(APIServer())
+
+
+class TestControlLoop:
+    def test_step_creates_pods(self, api):
+        loop = ControlLoop(api, OptimusScheduler())
+        report = loop.step([view("a")])
+        assert report.reconcile.pods_created >= 2
+        alloc = report.decision.allocations["a"]
+        assert len(api.list_pods(job_id="a")) == alloc.total
+        assert report.paused == ()
+
+    def test_steps_are_idempotent_when_decision_stable(self, api):
+        loop = ControlLoop(api, OptimusScheduler())
+        views = [view("a")]
+        first = loop.step(views)
+        second = loop.step(views)
+        # Same inputs, same decision: nothing to reconcile.
+        assert second.decision.allocations == first.decision.allocations
+        assert second.reconcile.pods_created == 0
+        assert second.reconcile.pods_deleted == 0
+
+    def test_step_respects_foreign_tenants(self, api):
+        # Another tenant occupies most of three nodes.
+        for i in range(3):
+            name = f"tenant/worker-{i}"
+            api.create_pod(
+                PodSpec(
+                    name=name, job_id="tenant", role="worker", index=i,
+                    demand=cpu_mem(14, 20),
+                )
+            )
+            api.bind_pod(name, f"n{i}")
+        loop = ControlLoop(api, OptimusScheduler())
+        report = loop.step([view("a")])
+        # The tenant's pods survive and capacity is honoured.
+        assert len(api.list_pods(job_id="tenant")) == 3
+        for node in api.list_nodes():
+            assert node.allocated.fits_within(node.capacity)
+
+    def test_finished_job_torn_down_with_checkpoint(self, api):
+        loop = ControlLoop(api, OptimusScheduler())
+        loop.step([view("a")], progress={"a": 10.0})
+        report = loop.step([], progress={"a": 999.0})
+        assert report.reconcile.pods_deleted >= 2
+        assert loop.controller.load_checkpoint("a") == 999.0
+        assert api.list_pods(job_id="a") == []
+
+    def test_rescale_cycles_through_checkpoint(self, api):
+        loop = ControlLoop(api, OptimusScheduler())
+        loop.step([view("a", remaining=100_000)], progress={"a": 0.0})
+        # Much less work left: Optimus shrinks the job.
+        report = loop.step([view("a", remaining=10.0)], progress={"a": 5_000.0})
+        if report.reconcile.jobs_scaled:
+            assert report.reconcile.checkpoints_saved >= 1
+            assert report.reconcile.checkpoints_restored >= 1
+
+    def test_drain(self, api):
+        loop = ControlLoop(api, OptimusScheduler())
+        loop.step([view("a"), view("b")])
+        loop.drain(progress={"a": 1.0, "b": 2.0})
+        assert api.list_pods() == []
+        assert loop.controller.load_checkpoint("b") == 2.0
+
+    def test_two_jobs_share_cluster(self, api):
+        loop = ControlLoop(api, OptimusScheduler())
+        report = loop.step([view("a"), view("b", model="cnn-rand")])
+        assert set(report.decision.allocations) == {"a", "b"}
+        per_job = {}
+        for pod in api.list_pods():
+            per_job[pod.job_id] = per_job.get(pod.job_id, 0) + 1
+        assert set(per_job) == {"a", "b"}

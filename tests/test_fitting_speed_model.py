@@ -1,0 +1,182 @@
+"""Tests for the Eqn-3/Eqn-4 speed-function fitters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import FittingError
+from repro.fitting.speed_model import (
+    SpeedModelFit,
+    fit_speed_model,
+    sample_configurations,
+)
+from repro.workloads import MODEL_ZOO, StepTimeModel
+
+
+def grid_samples(model, max_tasks=16, stride=3):
+    return [
+        (p, w, model.speed(p, w))
+        for p in range(1, max_tasks + 1, stride)
+        for w in range(1, max_tasks + 1, stride)
+    ]
+
+
+class TestSyncFit:
+    @pytest.fixture
+    def truth(self):
+        return StepTimeModel(MODEL_ZOO["resnet-50"], "sync")
+
+    def test_fit_recovers_surface(self, truth):
+        fit = fit_speed_model(grid_samples(truth), "sync", global_batch=256)
+        errors = [
+            abs(fit.predict(p, w) - truth.speed(p, w)) / truth.speed(p, w)
+            for p in range(1, 17, 2)
+            for w in range(1, 17, 2)
+        ]
+        assert float(np.mean(errors)) < 0.05
+
+    def test_theta0_estimates_forward_time(self, truth):
+        """θ0 multiplies M/w, so it should recover T_forward (§3.2)."""
+        fit = fit_speed_model(grid_samples(truth), "sync", global_batch=256)
+        assert fit.thetas[0] == pytest.approx(
+            MODEL_ZOO["resnet-50"].forward_time_per_example, rel=0.35
+        )
+
+    def test_nonmonotonicity_captured(self, truth):
+        """The fitted function must reproduce the Fig-4b decline."""
+        fit = fit_speed_model(grid_samples(truth), "sync", global_batch=256)
+        speeds = {w: fit.predict(w, w) for w in range(1, 21)}
+        best = max(speeds, key=speeds.get)
+        assert speeds[20] < speeds[best]
+
+    def test_five_coefficients(self, truth):
+        fit = fit_speed_model(grid_samples(truth), "sync", global_batch=256)
+        assert len(fit.thetas) == 5
+        assert all(t >= 0 for t in fit.thetas)
+
+    def test_residual_reported(self, truth):
+        noisy = [
+            (p, w, truth.measured_speed(p, w, seed=p * 31 + w, noise_std=0.05))
+            for p, w in sample_configurations(16, 16, 12, seed=0)
+        ]
+        fit = fit_speed_model(noisy, "sync", global_batch=256)
+        assert fit.residual > 0
+
+    def test_requires_global_batch(self, truth):
+        with pytest.raises(FittingError):
+            fit_speed_model(grid_samples(truth), "sync")
+
+
+class TestAsyncFit:
+    @pytest.fixture
+    def truth(self):
+        return StepTimeModel(MODEL_ZOO["resnet-50"], "async")
+
+    def test_fit_recovers_surface(self, truth):
+        fit = fit_speed_model(grid_samples(truth), "async")
+        errors = [
+            abs(fit.predict(p, w) - truth.speed(p, w)) / truth.speed(p, w)
+            for p in range(1, 17, 2)
+            for w in range(1, 17, 2)
+        ]
+        assert float(np.mean(errors)) < 0.06
+
+    def test_four_coefficients(self, truth):
+        fit = fit_speed_model(grid_samples(truth), "async")
+        assert len(fit.thetas) == 4
+
+    def test_speed_increases_with_workers(self, truth):
+        fit = fit_speed_model(grid_samples(truth), "async")
+        assert fit.predict(8, 12) > fit.predict(8, 2)
+
+
+class TestFig8SampleEfficiency:
+    def test_ten_samples_within_ten_percent(self):
+        """Fig 8: ~10 sample runs already give <10% estimation error."""
+        truth = StepTimeModel(MODEL_ZOO["resnet-50"], "sync")
+        configs = sample_configurations(20, 20, 10, seed=4)
+        samples = [
+            (p, w, truth.measured_speed(p, w, seed=p * 100 + w, noise_std=0.03))
+            for p, w in configs
+        ]
+        fit = fit_speed_model(samples, "sync", global_batch=256)
+        errors = [
+            abs(fit.predict(p, w) - truth.speed(p, w)) / truth.speed(p, w)
+            for p in range(2, 21, 3)
+            for w in range(2, 21, 3)
+        ]
+        assert float(np.mean(errors)) < 0.10
+
+    def test_more_samples_reduce_error(self):
+        truth = StepTimeModel(MODEL_ZOO["resnet-50"], "sync")
+
+        def mean_error(num_samples, seed):
+            configs = sample_configurations(20, 20, num_samples, seed=seed)
+            samples = [
+                (p, w, truth.measured_speed(p, w, seed=p * 100 + w, noise_std=0.05))
+                for p, w in configs
+            ]
+            fit = fit_speed_model(samples, "sync", global_batch=256)
+            return float(
+                np.mean(
+                    [
+                        abs(fit.predict(p, w) - truth.speed(p, w)) / truth.speed(p, w)
+                        for p in range(2, 21, 3)
+                        for w in range(2, 21, 3)
+                    ]
+                )
+            )
+
+        few = np.mean([mean_error(6, s) for s in range(5)])
+        many = np.mean([mean_error(24, s) for s in range(5)])
+        assert many <= few
+
+
+class TestSampleConfigurations:
+    def test_includes_corners(self):
+        configs = sample_configurations(8, 8, 5, seed=1)
+        assert (1, 1) in configs
+        assert (8, 8) in configs
+
+    def test_distinct_and_bounded(self):
+        configs = sample_configurations(10, 12, 20, seed=2)
+        assert len(configs) == len(set(configs)) == 20
+        assert all(1 <= p <= 10 and 1 <= w <= 12 for p, w in configs)
+
+    def test_caps_at_grid_size(self):
+        configs = sample_configurations(2, 2, 50, seed=3)
+        assert len(configs) == 4
+
+    def test_reproducible(self):
+        assert sample_configurations(9, 9, 7, seed=5) == sample_configurations(
+            9, 9, 7, seed=5
+        )
+
+    def test_validation(self):
+        with pytest.raises(FittingError):
+            sample_configurations(0, 5, 3)
+        with pytest.raises(FittingError):
+            sample_configurations(5, 5, 1)
+
+
+class TestValidation:
+    def test_too_few_samples(self):
+        with pytest.raises(FittingError):
+            fit_speed_model([(1, 1, 1.0)] * 3, "async")
+
+    def test_bad_configuration(self):
+        with pytest.raises(FittingError):
+            fit_speed_model([(0, 1, 1.0)] * 6, "async")
+
+    def test_bad_speed(self):
+        with pytest.raises(FittingError):
+            fit_speed_model([(1, 1, -2.0)] * 6, "async")
+
+    def test_bad_mode(self):
+        with pytest.raises(Exception):
+            fit_speed_model([(1, 1, 1.0)] * 6, "batch")
+
+    def test_predict_validates_tasks(self):
+        fit = SpeedModelFit(mode="async", thetas=(1.0, 0.1, 0.01, 0.01), residual=0.0, num_samples=6)
+        with pytest.raises(FittingError):
+            fit.predict(0, 1)

@@ -1,0 +1,116 @@
+"""End-to-end integration tests: the headline claims of the paper must hold
+on the full pipeline (online estimators, real allocation/placement, ground
+truth with placement and imbalance effects)."""
+
+import pytest
+
+from repro.cluster import Cluster, cpu_mem
+from repro.k8s import APIServer, JobController, JobTarget
+from repro.schedulers import JobView, make_scheduler
+from repro.sim import SimConfig, simulate
+from repro.workloads import StepTimeModel, make_job, uniform_arrivals
+
+
+def cluster():
+    return Cluster.homogeneous(13, cpu_mem(16, 80))
+
+
+@pytest.fixture(scope="module")
+def headline_results():
+    """One seeded Fig-11 style run shared by the assertions below."""
+    jobs = uniform_arrivals(num_jobs=9, window=12_000, seed=42)
+    results = {}
+    for name in ("optimus", "drf", "tetris"):
+        results[name] = simulate(
+            cluster(), make_scheduler(name), jobs, SimConfig(seed=7)
+        )
+    return results
+
+
+class TestHeadlineClaims:
+    def test_everyone_finishes(self, headline_results):
+        for name, result in headline_results.items():
+            assert result.all_finished, name
+
+    def test_optimus_best_jct(self, headline_results):
+        opt = headline_results["optimus"].average_jct
+        assert headline_results["drf"].average_jct > opt
+        assert headline_results["tetris"].average_jct > opt
+
+    def test_optimus_best_makespan(self, headline_results):
+        opt = headline_results["optimus"].makespan
+        assert headline_results["drf"].makespan > opt
+        assert headline_results["tetris"].makespan > opt
+
+    def test_drf_runs_more_tasks_than_optimus(self, headline_results):
+        """Fig 14a: DRF is work-conserving and floods the cluster."""
+        assert (
+            headline_results["drf"].mean_running_tasks()
+            > headline_results["optimus"].mean_running_tasks()
+        )
+
+    def test_scaling_overhead_small(self, headline_results):
+        """§6.2 reports 2.54% overall resource-adjustment overhead."""
+        frac = headline_results["optimus"].scaling_overhead_fraction
+        assert frac < 0.10
+
+
+class TestAblationDirections:
+    """Fig 18/19: each Optimus component contributes."""
+
+    @pytest.fixture(scope="class")
+    def jobs(self):
+        return uniform_arrivals(num_jobs=7, window=8_000, seed=11)
+
+    def test_optimus_allocation_matters(self, jobs):
+        full = simulate(cluster(), make_scheduler("optimus"), jobs, SimConfig(seed=5))
+        swapped = simulate(
+            cluster(), make_scheduler("drf+optimus"), jobs, SimConfig(seed=5)
+        )
+        assert full.average_jct < swapped.average_jct * 1.05
+
+    def test_optimus_placement_matters(self, jobs):
+        full = simulate(cluster(), make_scheduler("optimus"), jobs, SimConfig(seed=5))
+        swapped = simulate(
+            cluster(), make_scheduler("optimus+spread"), jobs, SimConfig(seed=5)
+        )
+        assert full.average_jct < swapped.average_jct * 1.05
+
+
+class TestSchedulerDrivesOrchestrator:
+    def test_decision_reconciles_into_pods(self):
+        """An Optimus decision can drive the k8s substrate end to end."""
+        work_cluster = Cluster.homogeneous(4, cpu_mem(16, 64))
+        api = APIServer()
+        for server in work_cluster:
+            api.register_node(server.name, server.capacity)
+        controller = JobController(api)
+
+        spec = make_job("seq2seq", job_id="it-job")
+        truth = StepTimeModel(spec.profile, spec.mode)
+        view = JobView(
+            spec=spec,
+            remaining_steps=50_000,
+            speed=lambda p, w: truth.speed(p, w),
+            observation_count=100,
+        )
+        decision = make_scheduler("optimus").schedule(work_cluster, [view])
+        targets = [
+            JobTarget(
+                job_id=job_id,
+                worker_demand=spec.worker_demand,
+                ps_demand=spec.ps_demand,
+                layout=dict(layout),
+            )
+            for job_id, layout in decision.layouts.items()
+        ]
+        report = controller.reconcile(targets)
+        alloc = decision.allocations["it-job"]
+        assert report.pods_created == alloc.total
+        assert len(api.list_pods(job_id="it-job")) == alloc.total
+        # Pod placement mirrors the decision's layout exactly.
+        for server_name, (n_workers, n_ps) in decision.layouts["it-job"].items():
+            pods = api.list_pods(node=server_name)
+            workers = sum(1 for p in pods if p.role == "worker")
+            ps = sum(1 for p in pods if p.role == "ps")
+            assert (workers, ps) == (n_workers, n_ps)

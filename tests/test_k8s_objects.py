@@ -1,0 +1,80 @@
+"""Tests for the orchestrator's API objects."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector, cpu_mem
+from repro.common.errors import ConfigurationError
+from repro.k8s.objects import (
+    PHASE_PENDING,
+    PHASE_RUNNING,
+    NodeInfo,
+    PodSpec,
+    pod_name,
+)
+
+
+class TestPodSpec:
+    def make(self, **overrides):
+        fields = dict(
+            name="j/worker-0",
+            job_id="j",
+            role="worker",
+            index=0,
+            demand=cpu_mem(5, 10),
+        )
+        fields.update(overrides)
+        return PodSpec(**fields)
+
+    def test_defaults(self):
+        pod = self.make()
+        assert pod.phase == PHASE_PENDING
+        assert not pod.bound
+        assert pod.restarts == 0
+
+    def test_bound_property(self):
+        pod = self.make(node="n0", phase=PHASE_RUNNING)
+        assert pod.bound
+
+    def test_invalid_role(self):
+        with pytest.raises(ConfigurationError):
+            self.make(role="driver")
+
+    def test_invalid_phase(self):
+        with pytest.raises(ConfigurationError):
+            self.make(phase="Zombie")
+
+    def test_negative_index(self):
+        with pytest.raises(ConfigurationError):
+            self.make(index=-1)
+
+    def test_json_roundtrip_preserves_everything(self):
+        pod = self.make(node="n3", phase=PHASE_RUNNING, restarts=2)
+        restored = PodSpec.from_json(pod.to_json())
+        assert restored == pod
+
+    def test_json_roundtrip_gpu_demand(self):
+        pod = self.make(demand=ResourceVector({"cpu": 2, "gpu": 1}))
+        assert PodSpec.from_json(pod.to_json()).demand == pod.demand
+
+
+class TestNodeInfo:
+    def test_allocatable(self):
+        node = NodeInfo("n0", cpu_mem(16, 64), allocated=cpu_mem(6, 20))
+        assert node.allocatable == cpu_mem(10, 44)
+
+    def test_fresh_node_fully_allocatable(self):
+        node = NodeInfo("n0", cpu_mem(16, 64))
+        assert node.allocatable == node.capacity
+
+    def test_json_roundtrip(self):
+        node = NodeInfo("n0", cpu_mem(16, 64), allocated=cpu_mem(5, 10))
+        restored = NodeInfo.from_json(node.to_json())
+        assert restored.name == node.name
+        assert restored.capacity == node.capacity
+        assert restored.allocated == node.allocated
+
+
+class TestPodName:
+    def test_format(self):
+        assert pod_name("job-3", "worker", 2) == "job-3/worker-2"
+        assert pod_name("j", "ps", 0) == "j/ps-0"

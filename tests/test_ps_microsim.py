@@ -1,0 +1,146 @@
+"""Tests for the first-principles PS-step micro-simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.ps.microsim import (
+    MicroStepConfig,
+    closed_form_step_time,
+    simulate_step,
+)
+
+
+def balanced(num_workers=8, num_ps=4, model=100e6, bandwidth=125e6,
+             compute=2.0, update=0.05, stragglers=None):
+    return MicroStepConfig(
+        num_workers=num_workers,
+        shard_bytes=tuple(model / num_ps for _ in range(num_ps)),
+        bandwidth=bandwidth,
+        compute_time=compute,
+        update_time_full=update,
+        straggler_factors=stragglers,
+    )
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            MicroStepConfig(0, (1.0,), 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            MicroStepConfig(1, (), 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            MicroStepConfig(1, (1.0,), 0.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            MicroStepConfig(2, (1.0,), 1.0, 1.0, 1.0, straggler_factors=(1.0,))
+        with pytest.raises(ConfigurationError):
+            MicroStepConfig(1, (1.0,), 1.0, 1.0, 1.0, straggler_factors=(0.5,))
+
+
+class TestPhaseStructure:
+    def test_phases_ordered(self):
+        result = simulate_step(balanced())
+        assert max(result.compute_done) <= min(result.push_done) + 1e-9
+        for j in range(4):
+            assert result.update_done[j] >= result.push_done[j]
+        assert result.step_time == max(result.pull_done)
+
+    def test_zero_compute(self):
+        result = simulate_step(balanced(compute=0.0))
+        assert all(c == 0.0 for c in result.compute_done)
+        assert result.step_time > 0
+
+    def test_single_worker_single_ps(self):
+        config = MicroStepConfig(1, (100e6,), 125e6, 1.0, 0.05)
+        result = simulate_step(config)
+        # compute + push + update + pull, all exact.
+        expected = 1.0 + 100e6 / 125e6 + 0.05 + 100e6 / 125e6
+        assert result.step_time == pytest.approx(expected, rel=1e-6)
+
+
+class TestAgainstClosedForm:
+    @pytest.mark.parametrize("w,p", [(8, 4), (12, 6), (16, 4), (10, 10)])
+    def test_matches_eqn2_when_ps_is_bottleneck(self, w, p):
+        """With w >= p (the paper's 'bottleneck at the PS side' regime),
+        the fluid simulation reproduces Eqn 2 almost exactly."""
+        config = balanced(num_workers=w, num_ps=p)
+        micro = simulate_step(config).step_time
+        closed = closed_form_step_time(config)
+        assert micro == pytest.approx(closed, rel=0.05)
+
+    def test_worker_side_bottleneck_exceeds_eqn2(self):
+        """With p >> w the worker NIC binds; Eqn 2 (which assumes the PS
+        side binds) underestimates -- the simulation is the truth."""
+        config = balanced(num_workers=2, num_ps=12)
+        micro = simulate_step(config).step_time
+        closed = closed_form_step_time(config)
+        assert micro > closed
+
+    def test_imbalance_slows_step(self):
+        even = balanced(num_workers=8, num_ps=4)
+        uneven = MicroStepConfig(
+            num_workers=8,
+            shard_bytes=(55e6, 15e6, 15e6, 15e6),
+            bandwidth=125e6,
+            compute_time=2.0,
+            update_time_full=0.05,
+        )
+        assert simulate_step(uneven).step_time > simulate_step(even).step_time
+
+    def test_imbalance_matches_rho_max_form(self):
+        """The §5.3 closed form with rho_max tracks the simulated slowdown."""
+        uneven = MicroStepConfig(
+            num_workers=8,
+            shard_bytes=(50e6, 25e6, 12.5e6, 12.5e6),
+            bandwidth=125e6,
+            compute_time=2.0,
+            update_time_full=0.05,
+        )
+        micro = simulate_step(uneven).step_time
+        closed = closed_form_step_time(uneven)
+        assert micro == pytest.approx(closed, rel=0.10)
+
+    def test_straggler_adds_own_compute_delay(self):
+        base = simulate_step(balanced()).step_time
+        slowed = simulate_step(
+            balanced(stragglers=(3.0,) + (1.0,) * 7)
+        ).step_time
+        # The sync step waits for the straggler: at least its extra compute
+        # is added (transfers may partially overlap).
+        assert slowed > base
+        assert slowed <= base + 2.0 * 2.0 + 1e-6
+
+    def test_more_ps_reduces_step_time(self):
+        few = simulate_step(balanced(num_ps=2)).step_time
+        many = simulate_step(balanced(num_ps=8)).step_time
+        assert many < few
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        w=st.integers(1, 10),
+        p=st.integers(1, 8),
+        model=st.floats(1e6, 2e8),
+        compute=st.floats(0.0, 5.0),
+    )
+    def test_sanity_bounds(self, w, p, model, compute):
+        config = MicroStepConfig(
+            num_workers=w,
+            shard_bytes=tuple(model / p for _ in range(p)),
+            bandwidth=125e6,
+            compute_time=compute,
+            update_time_full=0.05,
+        )
+        result = simulate_step(config)
+        # Lower bound: compute plus one uncontended round trip.
+        assert result.step_time >= compute + 2 * (model / p) / 125e6 - 1e-6
+        # Upper bound: everything fully serialised.
+        assert result.step_time <= compute + 2 * model * w / 125e6 + 0.05 * w + 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(w=st.integers(2, 10))
+    def test_monotone_in_workers(self, w):
+        smaller = simulate_step(balanced(num_workers=w)).step_time
+        larger = simulate_step(balanced(num_workers=w + 2)).step_time
+        assert larger >= smaller - 1e-9

@@ -1,0 +1,91 @@
+"""Tests for the public API surface: exports resolve, docstrings exist."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.cluster",
+    "repro.common",
+    "repro.core",
+    "repro.datastore",
+    "repro.deploy",
+    "repro.fitting",
+    "repro.k8s",
+    "repro.ps",
+    "repro.schedulers",
+    "repro.sim",
+    "repro.workloads",
+]
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__") or module_name == "repro.common"
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_names_available(self):
+        # The README's quickstart imports must keep working.
+        from repro import (
+            Cluster,
+            SimConfig,
+            cpu_mem,
+            make_scheduler,
+            simulate,
+            uniform_arrivals,
+        )
+
+        assert callable(simulate)
+        assert callable(make_scheduler)
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES + ["repro"])
+    def test_modules_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20, module_name
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert undocumented == []
+
+    def test_scheduler_methods_documented(self):
+        from repro.schedulers import Scheduler
+
+        assert Scheduler.schedule.__doc__
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        from repro.common import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_library_raises_its_own_errors(self):
+        from repro.common.errors import ReproError
+        from repro.workloads import get_profile
+
+        with pytest.raises(ReproError):
+            get_profile("not-a-model")

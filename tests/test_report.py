@@ -1,0 +1,142 @@
+"""Tests for the plain-text reporting helpers."""
+
+import json
+import math
+
+import pytest
+
+from repro.cluster import Cluster, cpu_mem
+from repro.common.errors import ConfigurationError
+from repro.report import (
+    bar_chart,
+    format_table,
+    result_to_dict,
+    result_to_json,
+    sparkline,
+)
+from repro.schedulers import make_scheduler
+from repro.sim import SimConfig, simulate
+from repro.workloads import uniform_arrivals
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_preserved(self):
+        assert len(sparkline(range(17))) == 17
+
+    def test_extremes_hit_both_ends(self):
+        line = sparkline([0, 10, 0, 10])
+        assert line[0] == "▁" and line[1] == "█"
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([1.0, math.inf])
+
+
+class TestBarChart:
+    def test_longest_bar_spans_width(self):
+        chart = bar_chart([("a", 1), ("b", 2)], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("short", 1), ("a-long-label", 1)], width=5)
+        positions = [line.index("|") for line in chart.splitlines()]
+        assert len(set(positions)) == 1
+
+    def test_unit_rendered(self):
+        assert "2h" in bar_chart([("x", 2)], unit="h")
+
+    def test_zero_values(self):
+        chart = bar_chart([("a", 0), ("b", 0)], width=10)
+        assert "█" not in chart
+
+    def test_empty(self):
+        assert bar_chart([]) == ""
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart([("a", -1)])
+        with pytest.raises(ConfigurationError):
+            bar_chart([("a", 1)], width=0)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["alpha", 1.5], ["b", 22.25]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[2].startswith("alpha")
+        # Numeric column right-aligned.
+        assert lines[2].endswith("1.500")
+        assert lines[3].endswith("22.250")
+
+    def test_header_only(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+
+class TestResultSerialisation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        jobs = uniform_arrivals(
+            num_jobs=2, window=600, seed=5, models=["cnn-rand"]
+        )
+        return simulate(
+            Cluster.homogeneous(4, cpu_mem(16, 64)),
+            make_scheduler("optimus"),
+            jobs,
+            SimConfig(seed=3, estimator_mode="oracle"),
+        )
+
+    def test_dict_shape(self, result):
+        data = result_to_dict(result)
+        assert data["scheduler"] == "optimus"
+        assert len(data["jobs"]) == 2
+        assert data["timeline"]
+        assert "average_jct" in data["summary"]
+
+    def test_json_roundtrip(self, result):
+        data = json.loads(result_to_json(result))
+        assert data["scheduler"] == "optimus"
+        for job in data["jobs"]:
+            assert job["jct"] is None or job["jct"] > 0
+
+    def test_infinities_become_null(self, result):
+        # Force an unfinished-job summary through the serialiser.
+        from repro.sim.metrics import JobRecord, SimulationResult
+
+        unfinished = SimulationResult(
+            scheduler_name="x",
+            jobs={
+                "j": JobRecord(
+                    job_id="j", model="cnn-rand", mode="sync",
+                    arrival_time=0.0, completion_time=None,
+                    total_steps=0, scaling_time=0, num_scalings=0,
+                    chunks_moved=0,
+                )
+            },
+            timeline=[],
+            interval=600,
+            seed=0,
+        )
+        data = json.loads(result_to_json(unfinished))
+        assert data["summary"]["average_jct"] is None
+        assert data["summary"]["makespan"] is None

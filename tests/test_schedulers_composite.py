@@ -1,0 +1,168 @@
+"""Tests for the composite scheduler and the named presets."""
+
+import pytest
+
+from repro.cluster import Cluster, cpu_mem
+from repro.common.errors import SchedulingError
+from repro.schedulers import (
+    CompositeScheduler,
+    DRFScheduler,
+    FIFOScheduler,
+    JobView,
+    OptimusScheduler,
+    TetrisScheduler,
+    make_scheduler,
+)
+from repro.workloads import StepTimeModel, make_job
+
+
+def view(job_id, model="seq2seq", mode="sync", remaining=50_000):
+    spec = make_job(model, mode=mode, job_id=job_id)
+    truth = StepTimeModel(spec.profile, mode)
+    return JobView(
+        spec=spec,
+        remaining_steps=remaining,
+        speed=lambda p, w, t=truth: t.speed(p, w),
+        observation_count=100,
+    )
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.homogeneous(6, cpu_mem(16, 64))
+
+
+class TestConstruction:
+    def test_presets(self):
+        assert OptimusScheduler().name == "optimus"
+        assert DRFScheduler().name == "drf"
+        assert TetrisScheduler().name == "tetris"
+        assert FIFOScheduler().name == "fifo"
+
+    def test_make_scheduler_presets(self):
+        assert isinstance(make_scheduler("optimus"), OptimusScheduler)
+        assert isinstance(make_scheduler("drf"), DRFScheduler)
+
+    def test_make_scheduler_hybrids(self):
+        hybrid = make_scheduler("drf+optimus")
+        assert isinstance(hybrid, CompositeScheduler)
+        assert hybrid.name == "drf+optimus"
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(SchedulingError):
+            make_scheduler("borg")
+
+    def test_unknown_policies(self):
+        with pytest.raises(SchedulingError):
+            CompositeScheduler("magic", "optimus")
+        with pytest.raises(SchedulingError):
+            CompositeScheduler("drf", "magic")
+
+
+class TestScheduleContract:
+    def test_empty_jobs(self, cluster):
+        decision = OptimusScheduler().schedule(cluster, [])
+        assert decision.allocations == {}
+        assert decision.layouts == {}
+
+    @pytest.mark.parametrize("name", ["optimus", "drf", "tetris", "fifo"])
+    def test_decision_consistency(self, cluster, name):
+        views = [view(f"j{i}") for i in range(3)]
+        decision = make_scheduler(name).schedule(cluster, views)
+        decision.validate()  # layout totals must match allocations
+        assert set(decision.layouts) <= set(decision.allocations)
+
+    @pytest.mark.parametrize("name", ["optimus", "drf", "tetris", "fifo"])
+    def test_capacity_respected(self, cluster, name):
+        views = [view(f"j{i}") for i in range(5)]
+        decision = make_scheduler(name).schedule(cluster, views)
+        for server in cluster:
+            assert server.used.fits_within(server.capacity)
+
+    def test_scheduled_jobs_property(self, cluster):
+        views = [view("a"), view("b")]
+        decision = OptimusScheduler().schedule(cluster, views)
+        assert set(decision.scheduled_jobs) == set(decision.layouts)
+        assert decision.total_tasks == sum(
+            decision.allocations[j].total for j in decision.scheduled_jobs
+        )
+
+
+class TestShrinkRetry:
+    def test_fragmented_allocation_shrinks_instead_of_pausing(self):
+        """Aggregate-feasible but fragmentation-rejected jobs are shrunk."""
+        # 3 servers x 3 slots = 9 placeable tasks, but aggregate capacity
+        # suggests 9.6: optimus allocation may hand out 9+ tasks.
+        cluster = Cluster.homogeneous(3, cpu_mem(16, 64))
+        views = [view(f"j{i}", remaining=10**6) for i in range(2)]
+        decision = OptimusScheduler().schedule(cluster, views)
+        # Both jobs must still run (no starvation).
+        assert set(decision.scheduled_jobs) == {"j0", "j1"}
+
+    def test_truly_unplaceable_job_paused(self):
+        cluster = Cluster.homogeneous(1, cpu_mem(8, 16))  # one task max... (5,10)
+        views = [view("a"), view("b")]
+        decision = OptimusScheduler().schedule(cluster, views)
+        # Only one job can hold even a 1+1 starter? The 8-CPU server fits a
+        # single 5-CPU task, so not even (1, 1) fits: nothing runs.
+        assert decision.scheduled_jobs == ()
+
+
+class TestValidateDecision:
+    def test_mismatched_layout_rejected(self, cluster):
+        from repro.core.allocation import TaskAllocation
+        from repro.schedulers.base import SchedulingDecision
+
+        decision = SchedulingDecision(
+            allocations={"j": TaskAllocation(2, 1)},
+            layouts={"j": {"node-0": (1, 1)}},
+        )
+        with pytest.raises(ValueError):
+            decision.validate()
+
+    def test_layout_without_allocation_rejected(self):
+        from repro.schedulers.base import SchedulingDecision
+
+        decision = SchedulingDecision(layouts={"j": {"node-0": (1, 1)}})
+        with pytest.raises(ValueError):
+            decision.validate()
+
+
+class TestJobViewHelpers:
+    def test_estimated_time(self):
+        v = view("j", remaining=1000)
+        t = v.estimated_time(4, 4)
+        assert t == pytest.approx(1000 / v.speed(4, 4))
+
+    def test_estimated_time_guards(self):
+        v = view("j")
+        assert v.estimated_time(0, 1) == float("inf")
+
+        def broken(p, w):
+            raise RuntimeError
+
+        v_broken = JobView(spec=v.spec, remaining_steps=10, speed=broken)
+        assert v_broken.estimated_time(1, 1) == float("inf")
+
+
+class TestPolicyMatrix:
+    """Every allocation x placement combination must produce a consistent,
+    capacity-respecting decision -- the ablation hybrids of §6.4 all pass
+    through this matrix."""
+
+    ALLOCATIONS = ("optimus", "drf", "tetris", "fifo", "srtf")
+    PLACEMENTS = ("optimus", "spread", "pack")
+
+    @pytest.mark.parametrize("allocation", ALLOCATIONS)
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    def test_combination(self, cluster, allocation, placement):
+        scheduler = CompositeScheduler(allocation, placement)
+        views = [view(f"j{i}", model=m) for i, m in enumerate(
+            ("seq2seq", "cnn-rand", "resnet-50"))]
+        decision = scheduler.schedule(cluster, views)
+        decision.validate()
+        # Placement never exceeds per-server capacity.
+        for server in cluster:
+            assert server.used.fits_within(server.capacity)
+        # Whatever ran must include at least one job on this roomy cluster.
+        assert decision.scheduled_jobs

@@ -1,0 +1,117 @@
+"""Tests for the §5.2 straggler-detection rules."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sim.detector import SpeedMonitor, StragglerVerdict
+
+
+class TestAsyncRule:
+    def test_clear_straggler_flagged(self):
+        monitor = SpeedMonitor()
+        verdict = monitor.evaluate_speeds({0: 1.0, 1: 1.1, 2: 0.9, 3: 0.3})
+        assert verdict.stragglers == (3,)
+        assert verdict.median_speed == pytest.approx(0.95)
+
+    def test_healthy_fleet_unflagged(self):
+        monitor = SpeedMonitor()
+        verdict = monitor.evaluate_speeds({i: 1.0 + 0.05 * i for i in range(6)})
+        assert verdict.stragglers == ()
+
+    def test_boundary_is_strict(self):
+        monitor = SpeedMonitor()
+        # Exactly half the median is NOT below half the median.
+        verdict = monitor.evaluate_speeds({0: 1.0, 1: 1.0, 2: 1.0, 3: 0.5})
+        assert verdict.stragglers == ()
+
+    def test_too_few_workers_never_flagged(self):
+        monitor = SpeedMonitor(min_workers=3)
+        verdict = monitor.evaluate_speeds({0: 1.0, 1: 0.01})
+        assert verdict.stragglers == ()
+
+    def test_multiple_stragglers(self):
+        monitor = SpeedMonitor()
+        verdict = monitor.evaluate_speeds(
+            {0: 1.0, 1: 1.0, 2: 1.0, 3: 0.2, 4: 0.1}
+        )
+        assert verdict.stragglers == (3, 4)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpeedMonitor().evaluate_speeds({0: -1.0, 1: 1.0, 2: 1.0})
+
+
+class TestConfirmation:
+    def test_transient_dip_debounced(self):
+        monitor = SpeedMonitor(confirmation=2)
+        first = monitor.evaluate_speeds({0: 1.0, 1: 1.0, 2: 1.0, 3: 0.2})
+        assert first.stragglers == ()  # needs a second confirmation
+        second = monitor.evaluate_speeds({0: 1.0, 1: 1.0, 2: 1.0, 3: 0.2})
+        assert second.stragglers == (3,)
+
+    def test_recovery_resets_streak(self):
+        monitor = SpeedMonitor(confirmation=2)
+        monitor.evaluate_speeds({0: 1.0, 1: 1.0, 2: 1.0, 3: 0.2})
+        monitor.evaluate_speeds({0: 1.0, 1: 1.0, 2: 1.0, 3: 0.95})  # recovered
+        verdict = monitor.evaluate_speeds({0: 1.0, 1: 1.0, 2: 1.0, 3: 0.2})
+        assert verdict.stragglers == ()
+
+
+class TestReportingLifecycle:
+    def test_not_reported_twice(self):
+        monitor = SpeedMonitor()
+        monitor.evaluate_speeds({0: 1.0, 1: 1.0, 2: 1.0, 3: 0.2})
+        again = monitor.evaluate_speeds({0: 1.0, 1: 1.0, 2: 1.0, 3: 0.2})
+        assert again.stragglers == ()
+        assert monitor.reported == (3,)
+
+    def test_replacement_rearms(self):
+        monitor = SpeedMonitor()
+        monitor.evaluate_speeds({0: 1.0, 1: 1.0, 2: 1.0, 3: 0.2})
+        monitor.replaced(3)
+        assert monitor.reported == ()
+        verdict = monitor.evaluate_speeds({0: 1.0, 1: 1.0, 2: 1.0, 3: 0.2})
+        assert verdict.stragglers == (3,)
+
+
+class TestSyncArrivalRule:
+    def test_speeds_from_arrivals(self):
+        arrivals = {
+            0: [0.0, 2.0, 4.0],  # gap 2 -> speed 0.5
+            1: [0.0, 4.0, 8.0],  # gap 4 -> speed 0.25
+        }
+        speeds = SpeedMonitor.speeds_from_arrivals(arrivals)
+        assert speeds[0] == pytest.approx(0.5)
+        assert speeds[1] == pytest.approx(0.25)
+
+    def test_single_arrival_ignored(self):
+        speeds = SpeedMonitor.speeds_from_arrivals({0: [1.0]})
+        assert speeds == {}
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpeedMonitor.speeds_from_arrivals({0: [2.0, 2.0]})
+
+    def test_end_to_end_sync_detection(self):
+        """A worker whose gradients arrive 3x slower is flagged."""
+        monitor = SpeedMonitor()
+        arrivals = {
+            0: [0.0, 2.0, 4.0, 6.0],
+            1: [0.1, 2.1, 4.1, 6.1],
+            2: [0.2, 2.2, 4.2, 6.2],
+            3: [0.0, 6.0, 12.0, 18.0],  # 3x slower
+        }
+        verdict = monitor.evaluate_arrivals(arrivals)
+        assert verdict.stragglers == (3,)
+
+
+class TestValidation:
+    def test_constructor_guards(self):
+        with pytest.raises(ConfigurationError):
+            SpeedMonitor(speed_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            SpeedMonitor(speed_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            SpeedMonitor(min_workers=1)
+        with pytest.raises(ConfigurationError):
+            SpeedMonitor(confirmation=0)

@@ -1,0 +1,139 @@
+"""Tests for straggler injection and handling (§5.2)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rand import RandomSource
+from repro.sim.stragglers import (
+    StragglerConfig,
+    StragglerEpisode,
+    StragglerInjector,
+    degraded_speed,
+    effective_interval_speed,
+)
+from repro.workloads import MODEL_ZOO, StepTimeModel
+
+
+@pytest.fixture
+def sync_model():
+    return StepTimeModel(MODEL_ZOO["resnet-50"], "sync")
+
+
+@pytest.fixture
+def async_model():
+    return StepTimeModel(MODEL_ZOO["resnet-50"], "async")
+
+
+class TestConfig:
+    def test_defaults_disabled(self):
+        assert not StragglerConfig().enabled
+
+    def test_episode_duration(self):
+        config = StragglerConfig(rate=0.1, detection_time=40, replacement_time=20)
+        assert config.episode_duration == 60
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StragglerConfig(rate=1.5)
+        with pytest.raises(ConfigurationError):
+            StragglerConfig(slowdown_range=(0.5, 2.0))
+        with pytest.raises(ConfigurationError):
+            StragglerConfig(slowdown_range=(3.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            StragglerConfig(detection_time=-1)
+
+
+class TestInjector:
+    def test_disabled_yields_nothing(self):
+        injector = StragglerInjector(StragglerConfig(), RandomSource(1))
+        assert injector.sample(10, 600) == []
+
+    def test_rate_one_hits_every_worker(self):
+        injector = StragglerInjector(StragglerConfig(rate=1.0), RandomSource(1))
+        episodes = injector.sample(5, 600)
+        assert len(episodes) == 5
+        assert {e.worker_index for e in episodes} == set(range(5))
+
+    def test_handling_bounds_duration(self):
+        config = StragglerConfig(
+            rate=1.0, detection_time=40, replacement_time=20, handling_enabled=True
+        )
+        injector = StragglerInjector(config, RandomSource(1))
+        episodes = injector.sample(3, 600)
+        assert all(e.duration == 60 for e in episodes)
+
+    def test_no_handling_lasts_interval(self):
+        config = StragglerConfig(rate=1.0, handling_enabled=False)
+        injector = StragglerInjector(config, RandomSource(1))
+        episodes = injector.sample(3, 600)
+        assert all(e.duration == 600 for e in episodes)
+
+    def test_slowdowns_in_range(self):
+        config = StragglerConfig(rate=1.0, slowdown_range=(2.0, 4.0))
+        injector = StragglerInjector(config, RandomSource(1))
+        episodes = injector.sample(50, 600)
+        assert all(2.0 <= e.slowdown <= 4.0 for e in episodes)
+
+    def test_reproducible(self):
+        config = StragglerConfig(rate=0.3)
+        a = StragglerInjector(config, RandomSource(9)).sample(20, 600)
+        b = StragglerInjector(config, RandomSource(9)).sample(20, 600)
+        assert a == b
+
+
+class TestDegradedSpeed:
+    def test_no_episodes_full_speed(self, sync_model):
+        assert degraded_speed(sync_model, 4, 8, []) == sync_model.speed(4, 8)
+
+    def test_sync_pays_worst_straggler(self, sync_model):
+        episodes = [
+            StragglerEpisode(0, slowdown=2.0, duration=60),
+            StragglerEpisode(1, slowdown=3.5, duration=60),
+        ]
+        slow = degraded_speed(sync_model, 4, 8, episodes)
+        assert slow < sync_model.speed(4, 8)
+        # Equivalent to the single worst slowdown.
+        worst_only = degraded_speed(
+            sync_model, 4, 8, [StragglerEpisode(1, 3.5, 60)]
+        )
+        assert slow == pytest.approx(worst_only)
+
+    def test_async_loses_proportional_throughput(self, async_model):
+        episodes = [StragglerEpisode(0, slowdown=2.0, duration=60)]
+        base = async_model.speed(4, 8)
+        slow = degraded_speed(async_model, 4, 8, episodes)
+        # One of 8 workers at half speed: lose 1/16 of throughput.
+        assert slow == pytest.approx(base * (7.5 / 8))
+
+
+class TestEffectiveIntervalSpeed:
+    def test_no_episodes(self, sync_model):
+        full = sync_model.speed(4, 8)
+        assert effective_interval_speed(sync_model, 4, 8, [], 600) == full
+
+    def test_weighted_average(self, sync_model):
+        episodes = [StragglerEpisode(0, slowdown=3.0, duration=100)]
+        full = sync_model.speed(4, 8)
+        slow = degraded_speed(sync_model, 4, 8, episodes)
+        expected = (slow * 100 + full * 500) / 600
+        assert effective_interval_speed(
+            sync_model, 4, 8, episodes, 600
+        ) == pytest.approx(expected)
+
+    def test_episode_clamped_to_interval(self, sync_model):
+        episodes = [StragglerEpisode(0, slowdown=3.0, duration=10_000)]
+        slow = degraded_speed(sync_model, 4, 8, episodes)
+        assert effective_interval_speed(
+            sync_model, 4, 8, episodes, 600
+        ) == pytest.approx(slow)
+
+    def test_zero_run_time(self, sync_model):
+        assert effective_interval_speed(sync_model, 4, 8, [], 0) == 0.0
+
+    def test_handling_beats_no_handling(self, sync_model):
+        """Replacing stragglers quickly must out-perform leaving them."""
+        short = [StragglerEpisode(0, 3.0, 90)]
+        long = [StragglerEpisode(0, 3.0, 600)]
+        handled = effective_interval_speed(sync_model, 4, 8, short, 600)
+        unhandled = effective_interval_speed(sync_model, 4, 8, long, 600)
+        assert handled > unhandled

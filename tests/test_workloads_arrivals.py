@@ -1,0 +1,136 @@
+"""Tests for the arrival processes."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads import (
+    MODEL_ZOO,
+    google_trace_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.workloads.arrivals import DATASET_DOWNSCALE, STATIC_REQUESTS, THRESHOLD_RANGE
+
+
+class TestUniform:
+    def test_count_and_window(self):
+        jobs = uniform_arrivals(num_jobs=20, window=1000, seed=1)
+        assert len(jobs) == 20
+        assert all(0 <= j.arrival_time <= 1000 for j in jobs)
+
+    def test_sorted_by_arrival(self):
+        jobs = uniform_arrivals(num_jobs=10, seed=1)
+        arrivals = [j.arrival_time for j in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_reproducible(self):
+        a = uniform_arrivals(num_jobs=5, seed=4)
+        b = uniform_arrivals(num_jobs=5, seed=4)
+        assert [(j.job_id, j.arrival_time) for j in a] == [
+            (j.job_id, j.arrival_time) for j in b
+        ]
+
+    def test_seed_changes_jobs(self):
+        a = uniform_arrivals(num_jobs=5, seed=4)
+        b = uniform_arrivals(num_jobs=5, seed=5)
+        assert [j.arrival_time for j in a] != [j.arrival_time for j in b]
+
+    def test_mode_pinning(self):
+        jobs = uniform_arrivals(num_jobs=10, seed=1, mode="async")
+        assert all(j.mode == "async" for j in jobs)
+
+    def test_mixed_modes_by_default(self):
+        jobs = uniform_arrivals(num_jobs=40, seed=1)
+        modes = {j.mode for j in jobs}
+        assert modes == {"sync", "async"}
+
+    def test_model_filter(self):
+        jobs = uniform_arrivals(num_jobs=10, seed=1, models=["cnn-rand"])
+        assert all(j.model_name == "cnn-rand" for j in jobs)
+
+    def test_thresholds_in_range(self):
+        jobs = uniform_arrivals(num_jobs=30, seed=1)
+        lo, hi = THRESHOLD_RANGE
+        assert all(lo <= j.threshold <= hi for j in jobs)
+
+    def test_downscale_applied(self):
+        jobs = uniform_arrivals(num_jobs=50, seed=2)
+        for job in jobs:
+            expected = DATASET_DOWNSCALE.get(job.model_name, 1.0)
+            assert job.dataset_scale == expected
+
+    def test_static_requests_applied(self):
+        jobs = uniform_arrivals(num_jobs=50, seed=2)
+        for job in jobs:
+            assert job.requested_workers == STATIC_REQUESTS[job.model_name]
+            assert job.requested_ps == job.requested_workers
+
+    def test_unique_ids(self):
+        jobs = uniform_arrivals(num_jobs=30, seed=3)
+        assert len({j.job_id for j in jobs}) == 30
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            uniform_arrivals(num_jobs=0)
+        with pytest.raises(ConfigurationError):
+            uniform_arrivals(num_jobs=5, window=-1)
+
+
+class TestPoisson:
+    def test_rate_controls_count(self):
+        sparse = poisson_arrivals(rate_per_interval=1, duration=60_000, seed=1)
+        dense = poisson_arrivals(rate_per_interval=6, duration=60_000, seed=1)
+        assert len(dense) > len(sparse)
+
+    def test_mean_rate_roughly_right(self):
+        jobs = poisson_arrivals(
+            rate_per_interval=3, interval=600, duration=120_000, seed=7
+        )
+        expected = 3 * 120_000 / 600
+        assert 0.7 * expected <= len(jobs) <= 1.3 * expected
+
+    def test_at_least_one_job(self):
+        jobs = poisson_arrivals(rate_per_interval=0.0001, duration=600, seed=1)
+        assert len(jobs) >= 1
+
+    def test_within_duration(self):
+        jobs = poisson_arrivals(rate_per_interval=3, duration=5000, seed=2)
+        assert all(0 <= j.arrival_time < 5000 for j in jobs)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(rate_per_interval=0)
+
+
+class TestGoogleTrace:
+    def test_count(self):
+        jobs = google_trace_arrivals(num_jobs=25, seed=1)
+        assert len(jobs) == 25
+
+    def test_burstier_than_uniform(self):
+        """Spiky arrivals concentrate more jobs into the busiest window."""
+        duration = 25_200.0
+        spiky = google_trace_arrivals(
+            num_jobs=60, duration=duration, seed=3, spike_fraction=0.8
+        )
+        flat = uniform_arrivals(num_jobs=60, window=duration, seed=3)
+
+        def max_bucket(jobs, bucket=600.0):
+            counts = {}
+            for job in jobs:
+                counts[int(job.arrival_time // bucket)] = (
+                    counts.get(int(job.arrival_time // bucket), 0) + 1
+                )
+            return max(counts.values())
+
+        assert max_bucket(spiky) > max_bucket(flat)
+
+    def test_all_within_duration(self):
+        jobs = google_trace_arrivals(num_jobs=30, duration=10_000, seed=2)
+        assert all(0 <= j.arrival_time <= 10_000 for j in jobs)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            google_trace_arrivals(num_jobs=0)
+        with pytest.raises(ConfigurationError):
+            google_trace_arrivals(num_jobs=5, spike_fraction=1.5)

@@ -1,0 +1,103 @@
+"""Tests for workload-trace serialisation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.cluster.resources import ResourceVector
+from repro.workloads import (
+    jobs_from_json,
+    jobs_to_json,
+    load_trace,
+    make_job,
+    save_trace,
+    uniform_arrivals,
+    zoo_names,
+)
+from repro.workloads.trace import job_from_dict, job_to_dict
+
+
+class TestRoundTrip:
+    def test_single_job(self):
+        job = make_job(
+            "resnet-50",
+            mode="async",
+            job_id="rt",
+            threshold=0.004,
+            dataset_scale=0.5,
+            arrival_time=123.0,
+            requested_workers=6,
+            requested_ps=6,
+        )
+        restored = job_from_dict(job_to_dict(job))
+        assert restored == job
+
+    def test_generated_workload(self):
+        jobs = uniform_arrivals(num_jobs=12, seed=3)
+        restored = jobs_from_json(jobs_to_json(jobs))
+        assert restored == jobs
+
+    def test_custom_demands_roundtrip(self):
+        job = make_job(
+            "cnn-rand",
+            job_id="gpu",
+            worker_demand=ResourceVector({"cpu": 2, "gpu": 1, "memory": 8}),
+        )
+        restored = job_from_dict(job_to_dict(job))
+        assert restored.worker_demand == job.worker_demand
+
+    def test_file_roundtrip(self, tmp_path):
+        jobs = uniform_arrivals(num_jobs=5, seed=9)
+        path = tmp_path / "trace.json"
+        save_trace(jobs, str(path))
+        assert load_trace(str(path)) == jobs
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        model=st.sampled_from(zoo_names()),
+        mode=st.sampled_from(["sync", "async"]),
+        threshold=st.floats(0.0005, 0.01),
+        arrival=st.floats(0, 1e5),
+    )
+    def test_property_roundtrip(self, model, mode, threshold, arrival):
+        job = make_job(
+            model, mode=mode, threshold=threshold, arrival_time=arrival
+        )
+        assert job_from_dict(job_to_dict(job)) == job
+
+
+class TestValidation:
+    def test_bad_json(self):
+        with pytest.raises(ConfigurationError):
+            jobs_from_json("this is not json")
+
+    def test_wrong_shape(self):
+        with pytest.raises(ConfigurationError):
+            jobs_from_json(json.dumps([1, 2, 3]))
+
+    def test_missing_field(self):
+        record = job_to_dict(make_job("cnn-rand", job_id="x"))
+        del record["mode"]
+        with pytest.raises(ConfigurationError):
+            job_from_dict(record)
+
+    def test_unknown_model(self):
+        record = job_to_dict(make_job("cnn-rand", job_id="x"))
+        record["model"] = "gpt-7"
+        with pytest.raises(ConfigurationError):
+            job_from_dict(record)
+
+    def test_wrong_version(self):
+        payload = json.loads(jobs_to_json([make_job("cnn-rand", job_id="x")]))
+        payload["version"] = 99
+        with pytest.raises(ConfigurationError):
+            jobs_from_json(json.dumps(payload))
+
+    def test_duplicate_ids(self):
+        job = make_job("cnn-rand", job_id="dup")
+        payload = json.loads(jobs_to_json([job]))
+        payload["jobs"].append(payload["jobs"][0])
+        with pytest.raises(ConfigurationError):
+            jobs_from_json(json.dumps(payload))

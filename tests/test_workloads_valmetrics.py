@@ -1,0 +1,108 @@
+"""Tests for the validation-metrics stream (§2.1 / Fig. 1)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads import MODEL_ZOO
+from repro.workloads.valmetrics import (
+    EpochMetrics,
+    ValidationEmitter,
+    no_overfitting,
+)
+
+
+@pytest.fixture
+def emitter():
+    return ValidationEmitter(MODEL_ZOO["resnext-110"].loss, seed=2)
+
+
+class TestTrueMetrics:
+    def test_initial_state(self, emitter):
+        start = emitter.true_metrics(0)
+        assert start.train_loss == pytest.approx(emitter.initial_loss)
+        assert start.train_accuracy == pytest.approx(0.0)
+        assert start.validation_accuracy == pytest.approx(0.0)
+
+    def test_losses_decrease_accuracy_increases(self, emitter):
+        early = emitter.true_metrics(2)
+        late = emitter.true_metrics(40)
+        assert late.train_loss < early.train_loss
+        assert late.validation_loss < early.validation_loss
+        assert late.train_accuracy > early.train_accuracy
+        assert late.validation_accuracy > early.validation_accuracy
+
+    def test_validation_tracks_training_with_gap(self, emitter):
+        for epoch in (5, 20, 50):
+            metrics = emitter.true_metrics(epoch)
+            assert metrics.validation_loss >= metrics.train_loss
+            assert metrics.validation_accuracy <= metrics.train_accuracy
+        # The gap is bounded: no divergence (no overfitting, §2.1).
+        late = emitter.true_metrics(50)
+        assert late.validation_loss <= late.train_loss * 1.06
+
+    def test_accuracy_bounded_by_max(self, emitter):
+        assert emitter.true_metrics(500).train_accuracy < emitter.max_accuracy
+
+    def test_negative_epoch_rejected(self, emitter):
+        with pytest.raises(ConfigurationError):
+            emitter.true_metrics(-1)
+
+
+class TestObserve:
+    def test_noise_reproducible(self):
+        curve = MODEL_ZOO["resnext-110"].loss
+        a = ValidationEmitter(curve, seed=7).observe(10)
+        b = ValidationEmitter(curve, seed=7).observe(10)
+        assert a == b
+
+    def test_accuracy_never_exceeds_one(self):
+        emitter = ValidationEmitter(
+            MODEL_ZOO["resnext-110"].loss, max_accuracy=1.0, noise_std=0.2, seed=1
+        )
+        for epoch in range(0, 60, 5):
+            metrics = emitter.observe(epoch)
+            assert metrics.train_accuracy <= 1.0
+            assert metrics.validation_accuracy <= 1.0
+
+    def test_zero_noise_is_exact(self, emitter):
+        exact = ValidationEmitter(
+            MODEL_ZOO["resnext-110"].loss, noise_std=0.0, seed=2
+        )
+        assert exact.observe(10) == exact.true_metrics(10)
+
+    def test_history_length(self, emitter):
+        assert len(emitter.history(25)) == 26
+        with pytest.raises(ConfigurationError):
+            emitter.history(-1)
+
+
+class TestNoOverfitting:
+    def test_production_curves_do_not_overfit(self):
+        for name, profile in MODEL_ZOO.items():
+            emitter = ValidationEmitter(profile.loss, noise_std=0.0, seed=1)
+            epochs = profile.loss.epochs_to_converge(0.002)
+            assert no_overfitting(emitter.history(epochs)), name
+
+    def test_detects_divergence(self):
+        good = EpochMetrics(0, 5.0, 5.2, 0.1, 0.09)
+        bad = EpochMetrics(1, 2.0, 6.0, 0.8, 0.5)
+        assert not no_overfitting([good, bad])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            no_overfitting([])
+
+
+class TestValidation:
+    def test_constructor_guards(self):
+        curve = MODEL_ZOO["resnext-110"].loss
+        with pytest.raises(ConfigurationError):
+            ValidationEmitter(curve, initial_loss=0)
+        with pytest.raises(ConfigurationError):
+            ValidationEmitter(curve, max_accuracy=0)
+        with pytest.raises(ConfigurationError):
+            ValidationEmitter(curve, generalisation_gap=1.0)
+        with pytest.raises(ConfigurationError):
+            ValidationEmitter(curve, sharpness=0)
+        with pytest.raises(ConfigurationError):
+            ValidationEmitter(curve, noise_std=-1)
