@@ -57,7 +57,8 @@ def test_ablation_background_load(benchmark):
         "workloads; Optimus rescales into it.",
         f"background: 60% of every server until t={RELEASE_TIME:.0f}s, then 5%.",
         "",
-        f"{'scheduler':10s} {'JCT(h)':>8s} {'makespan(h)':>12s} {'peak tasks pre/post release':>28s}",
+        f"{'scheduler':10s} {'JCT(h)':>8s} {'makespan(h)':>12s} "
+        f"{'peak tasks pre/post release':>28s}",
     ]
     for name, result in results.items():
         before = [s.running_tasks for s in result.timeline if s.time < RELEASE_TIME]

@@ -10,7 +10,6 @@ rescalings (and hence total scaling time) while keeping JCT close to the
 eager baseline.
 """
 
-import numpy as np
 
 from bench_common import paper_workload, report
 from repro.cluster import Cluster, cpu_mem

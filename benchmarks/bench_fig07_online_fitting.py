@@ -6,7 +6,6 @@ step scale; the shape to hold is a small residual and a fitted curve whose
 predictions track the observations across the whole run.
 """
 
-import numpy as np
 
 from bench_common import report
 from repro.fitting import fit_loss_curve

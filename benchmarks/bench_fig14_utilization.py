@@ -5,7 +5,6 @@ normalised CPU utilisation of Optimus's workers and parameter servers is
 *higher* -- Optimus wrings more work out of every allocated core.
 """
 
-import numpy as np
 
 from bench_common import paper_workload, report, run_scheduler
 

@@ -1,0 +1,122 @@
+"""Benchmark smoke runner: execute every bench at tiny scale.
+
+CI's benchmark-smoke job runs this script. For each ``bench_*.py`` module
+it imports the module, locates its producer -- the zero-argument
+module-level function the ``test_*`` wrapper feeds to
+``benchmark.pedantic`` -- runs it with smoke-sized parameters
+(``BENCH_SMOKE=1``, see :func:`bench_common.smoke_mode`, plus per-module
+constant overrides below) and asserts the result is non-empty. The
+paper-shape assertions in the ``test_*`` wrappers are deliberately *not*
+evaluated: at smoke scale they are not expected to hold. The goal is to
+catch API drift and crashes in every bench quickly, not to validate the
+paper's numbers.
+
+Usage::
+
+    python benchmarks/smoke.py            # run all benches
+    python benchmarks/smoke.py fig12      # run benches matching a substring
+"""
+
+from __future__ import annotations
+
+import glob
+import importlib
+import inspect
+import os
+import sys
+import time
+
+os.environ.setdefault("BENCH_SMOKE", "1")
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, BENCH_DIR)
+sys.path.insert(0, os.path.join(os.path.dirname(BENCH_DIR), "src"))
+
+#: Tiny-scale overrides applied to module-level constants before running
+#: (the big sweeps would otherwise dominate the smoke run's wall clock).
+SMOKE_OVERRIDES = {
+    "bench_fig12_scalability": {"SCALES": ((50, 10), (100, 25))},
+    "bench_fig15_sensitivity_error": {"ERROR_LEVELS": (0.0, 0.3)},
+}
+
+
+def find_producer(module):
+    """The bench's zero-arg producer function (what pedantic would call)."""
+    candidates = []
+    for name, obj in vars(module).items():
+        if name.startswith(("test_", "_")) or not inspect.isfunction(obj):
+            continue
+        if obj.__module__ != module.__name__:
+            continue  # imported helper, not this bench's producer
+        parameters = inspect.signature(obj).parameters.values()
+        if all(
+            p.default is not inspect.Parameter.empty
+            or p.kind
+            in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+            for p in parameters
+        ):
+            candidates.append(obj)
+    return candidates
+
+
+def is_non_empty(result) -> bool:
+    """A smoke result must be something: not None, not an empty container."""
+    if result is None:
+        return False
+    if isinstance(result, (list, tuple, dict, set, str)):
+        values = result.values() if isinstance(result, dict) else result
+        return len(result) > 0 and all(item is not None for item in values)
+    return True
+
+
+def run_bench(module_name: str) -> float:
+    """Import one bench, apply overrides, run its producers; returns seconds."""
+    module = importlib.import_module(module_name)
+    for attr, value in SMOKE_OVERRIDES.get(module_name, {}).items():
+        setattr(module, attr, value)
+    producers = find_producer(module)
+    if not producers:
+        raise AssertionError(f"{module_name}: no zero-arg producer function found")
+    start = time.perf_counter()
+    for producer in producers:
+        result = producer()
+        if not is_non_empty(result):
+            raise AssertionError(
+                f"{module_name}.{producer.__name__} returned an empty result: "
+                f"{result!r}"
+            )
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    pattern = argv[0] if argv else ""
+    paths = sorted(glob.glob(os.path.join(BENCH_DIR, "bench_*.py")))
+    names = [
+        os.path.splitext(os.path.basename(path))[0]
+        for path in paths
+        if os.path.basename(path) != "bench_common.py"
+    ]
+    if pattern:
+        names = [name for name in names if pattern in name]
+    if not names:
+        print(f"no benches match {pattern!r}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in names:
+        try:
+            elapsed = run_bench(name)
+        except Exception as exc:  # noqa: BLE001 - report and continue
+            failures.append((name, exc))
+            print(f"FAIL  {name}: {exc}")
+        else:
+            print(f"ok    {name} ({elapsed:.2f}s)")
+    print(
+        f"\n{len(names) - len(failures)}/{len(names)} benches passed smoke"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

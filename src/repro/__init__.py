@@ -24,6 +24,8 @@ Package map
 * :mod:`repro.ps` -- parameter-block partitioning (PAA vs. MXNet default).
 * :mod:`repro.cluster`, :mod:`repro.datastore`, :mod:`repro.k8s` -- the
   cluster, HDFS-like and Kubernetes-like substrates.
+* :mod:`repro.obs` -- structured observability: event tracing, metrics
+  registry and per-phase profiling hooks.
 """
 
 from repro.cluster import Cluster, ResourceVector, Server, cpu_mem
@@ -37,6 +39,7 @@ from repro.core import (
     place_jobs,
 )
 from repro.fitting import fit_loss_curve, fit_speed_model, nnls
+from repro.obs import JsonlTracer, MetricsRegistry, RecordingTracer
 from repro.ps import mxnet_partition, paa_partition
 from repro.schedulers import (
     DRFScheduler,
@@ -94,6 +97,10 @@ __all__ = [
     # ps
     "paa_partition",
     "mxnet_partition",
+    # obs
+    "RecordingTracer",
+    "JsonlTracer",
+    "MetricsRegistry",
     # schedulers
     "Scheduler",
     "JobView",

@@ -5,6 +5,7 @@ Subcommands:
 * ``compare`` -- run the Fig-11 style scheduler comparison.
 * ``simulate`` -- run one full simulation and dump metrics (optionally JSON).
 * ``scalability`` -- time a scheduling round at cluster scale (Fig 12).
+* ``trace`` -- summarise a JSONL event trace written by ``--trace-out``.
 * ``models`` -- print the Table-1 model zoo with ground-truth dynamics.
 * ``partition`` -- print the Table-3 style PAA-vs-MXNet comparison.
 * ``speed`` -- print a model's speed surface over (p, w).
@@ -13,6 +14,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -122,6 +124,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.obs import JsonlTracer, MetricsRegistry
     from repro.schedulers import make_scheduler
 
     jobs = _build_workload(args)
@@ -138,7 +141,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         background_load=background,
     )
     cluster = Cluster.homogeneous(args.servers, cpu_mem(16, 80))
-    result = simulate(cluster, make_scheduler(args.scheduler), jobs, config)
+
+    tracer = JsonlTracer(args.trace_out) if args.trace_out else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    try:
+        result = simulate(
+            cluster,
+            make_scheduler(args.scheduler),
+            jobs,
+            config,
+            tracer=tracer,
+            metrics=registry,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.trace_out:
+        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+    if registry is not None:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
 
     if args.json:
         print(result_to_json(result))
@@ -160,6 +183,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ],
         )
     )
+    if result.phase_timings:
+        print("\nper-phase wall-clock profile:")
+        print(
+            format_table(
+                ["phase", "calls", "total (s)", "mean (ms)", "max (ms)"],
+                [
+                    [
+                        phase,
+                        int(stats["count"]),
+                        stats["total"],
+                        stats["mean"] * 1e3,
+                        stats["max"] * 1e3,
+                    ]
+                    for phase, stats in result.phase_timings.items()
+                ],
+            )
+        )
     tasks = [slot.running_tasks for slot in result.timeline]
     if tasks:
         print(f"\nrunning tasks over time: {sparkline(tasks)}")
@@ -170,6 +210,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if record.finished
     ]
     print(bar_chart(rows, width=30, unit="h"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import summarize_file
+
+    limit = args.max_events_per_job if args.max_events_per_job > 0 else None
+    print(summarize_file(args.file, max_events_per_job=limit))
     return 0
 
 
@@ -292,7 +340,29 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument(
         "--json", action="store_true", help="dump the full result as JSON"
     )
+    simulate_cmd.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a JSONL event trace (repro.obs) to FILE",
+    )
+    simulate_cmd.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write a JSON metrics-registry dump (repro.obs) to FILE",
+    )
     simulate_cmd.set_defaults(func=_cmd_simulate)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="summarise a JSONL trace written by --trace-out"
+    )
+    trace_cmd.add_argument("file", help="path to the .jsonl trace")
+    trace_cmd.add_argument(
+        "--max-events-per-job",
+        type=int,
+        default=8,
+        help="truncate each job's timeline (0 = no limit)",
+    )
+    trace_cmd.set_defaults(func=_cmd_trace)
 
     scalability = sub.add_parser(
         "scalability", help="time scheduling rounds at cluster scale (Fig 12)"

@@ -10,11 +10,11 @@ without mutating live state.
 from __future__ import annotations
 
 import copy
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.common.errors import CapacityError, ConfigurationError
-from repro.cluster.resources import ResourceVector, ZERO
+from repro.cluster.resources import ZERO, ResourceVector
 from repro.cluster.server import ROLE_PS, ROLE_WORKER, Server, TaskKey
+from repro.common.errors import ConfigurationError
 
 
 class Cluster:

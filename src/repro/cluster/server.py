@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from repro.cluster.resources import ZERO, ResourceVector
 from repro.common.errors import CapacityError
-from repro.cluster.resources import ResourceVector, ZERO
 
 #: Role names used throughout the library.
 ROLE_WORKER = "worker"

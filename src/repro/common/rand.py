@@ -39,7 +39,8 @@ class RandomSource:
     >>> b = root.child("loss-noise")
     >>> a.rng.random() != b.rng.random()
     True
-    >>> RandomSource(7).child("arrivals").rng.random() == RandomSource(7).child("arrivals").rng.random()
+    >>> (RandomSource(7).child("arrivals").rng.random()
+    ...  == RandomSource(7).child("arrivals").rng.random())
     True
     """
 

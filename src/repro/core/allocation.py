@@ -25,11 +25,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
-from repro.common.errors import SchedulingError
 from repro.cluster.resources import ResourceVector
+from repro.common.errors import SchedulingError
+from repro.obs.registry import active_registry
 
 #: f(p, w) -> steps/second.
 SpeedFn = Callable[[int, int], float]
@@ -288,6 +289,14 @@ def allocate(
             fits(r.worker_demand) or fits(r.ps_demand) for r in active.values()
         )
         stop_reason = "gains" if any_fits and smallest > 0 else "capacity"
+
+    metrics = active_registry()
+    if metrics:
+        metrics.counter("allocation.rounds").inc()
+        metrics.counter("allocation.grants").inc(float(granted))
+        metrics.counter("allocation.starved").inc(float(len(starved)))
+        metrics.counter(f"allocation.stop.{stop_reason}").inc()
+        metrics.gauge("allocation.last_jobs").set(float(len(requests)))
 
     return AllocationResult(
         allocations=allocations,

@@ -12,7 +12,7 @@ prediction-error-vs-progress analysis can be replayed from a single run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.common.errors import FittingError

@@ -20,12 +20,13 @@ same ``k`` servers is tried before moving to ``k + 1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.common.errors import PlacementError
 from repro.cluster.cluster import Cluster
 from repro.cluster.resources import ResourceVector
 from repro.cluster.server import ROLE_PS, ROLE_WORKER, Server
+from repro.common.errors import PlacementError
+from repro.obs.registry import active_registry
 
 #: server name -> (num workers, num ps) for one job.
 JobLayout = Dict[str, Tuple[int, int]]
@@ -291,6 +292,16 @@ def place_jobs(
                 drain_slots[bound_demand] = slots
         for server in selected:
             heapq.heappush(heap, (_server_rank(server), server.name))
+
+    metrics = active_registry()
+    if metrics:
+        metrics.counter("placement.rounds").inc()
+        metrics.counter("placement.placed").inc(float(len(layouts)))
+        metrics.counter("placement.unplaced").inc(float(len(unplaced)))
+        for layout in layouts.values():
+            metrics.histogram(
+                "placement.servers_per_job", bounds=(1, 2, 4, 8, 16, 32, 64)
+            ).observe(float(len(layout)))
 
     return PlacementResult(layouts=layouts, unplaced=tuple(unplaced))
 

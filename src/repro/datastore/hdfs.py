@@ -14,8 +14,8 @@ cost the simulator can charge.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.common.errors import DataStoreError
 from repro.common.units import MB

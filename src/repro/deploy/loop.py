@@ -19,7 +19,7 @@ repository from :mod:`repro.sim`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
@@ -27,6 +27,21 @@ from repro.cluster.server import Server
 from repro.common.errors import SchedulingError
 from repro.k8s.api import APIServer
 from repro.k8s.controller import JobController, JobTarget, ReconcileReport
+from repro.obs.registry import (
+    NULL_PROFILER,
+    MetricsRegistry,
+    PhaseProfiler,
+    active_registry,
+    use_registry,
+)
+from repro.obs.tracer import (
+    EVENT_ALLOCATION_DECIDED,
+    EVENT_INTERVAL_TICK,
+    EVENT_JOB_RESCALED,
+    EVENT_PLACEMENT_DECIDED,
+    NULL_TRACER,
+    Tracer,
+)
 from repro.schedulers.base import JobView, Scheduler, SchedulingDecision
 
 
@@ -70,6 +85,8 @@ class ControlLoop:
         api: APIServer,
         scheduler: Scheduler,
         controller: Optional[JobController] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.api = api
         self.scheduler = scheduler
@@ -77,6 +94,19 @@ class ControlLoop:
         #: Jobs this loop has ever managed and may therefore tear down;
         #: other tenants' pods are off-limits (§7 "Various workloads").
         self._known_jobs: set = set()
+
+        # Observability (repro.obs): the loop has no simulation clock, so
+        # trace events are stamped with the 0-based step index.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else active_registry()
+        if self.tracer or self.metrics:
+            self.profiler = PhaseProfiler(self.metrics)
+        else:
+            self.profiler = NULL_PROFILER
+        self.scheduler.instrument(
+            tracer=self.tracer, metrics=self.metrics, profiler=self.profiler
+        )
+        self._step_index = 0
 
     def step(
         self,
@@ -93,31 +123,83 @@ class ControlLoop:
             Per-job progress (steps done), persisted into checkpoints when
             jobs are rescaled or torn down.
         """
+        now = float(self._step_index)
+        tracer = self.tracer
+        self.profiler.begin_interval()
         managed = {view.job_id for view in views}
-        cluster = cluster_from_api(self.api, managed_jobs=managed)
-        decision = self.scheduler.schedule(cluster, views)
+        with use_registry(self.metrics):
+            with self.profiler.phase("snapshot"):
+                cluster = cluster_from_api(self.api, managed_jobs=managed)
+            with self.profiler.phase("schedule"):
+                decision = self.scheduler.schedule(cluster, views)
 
-        targets = []
-        by_id = {view.job_id: view for view in views}
-        for job_id, layout in decision.layouts.items():
-            view = by_id[job_id]
-            targets.append(
-                JobTarget(
-                    job_id=job_id,
-                    worker_demand=view.spec.worker_demand,
-                    ps_demand=view.spec.ps_demand,
-                    layout=dict(layout),
+            if tracer:
+                for job_id, alloc in decision.allocations.items():
+                    tracer.emit(
+                        EVENT_ALLOCATION_DECIDED,
+                        now,
+                        job_id=job_id,
+                        workers=alloc.workers,
+                        ps=alloc.ps,
+                    )
+                for job_id, layout in decision.layouts.items():
+                    tracer.emit(
+                        EVENT_PLACEMENT_DECIDED,
+                        now,
+                        job_id=job_id,
+                        servers=len(layout),
+                        layout={
+                            server: [nw, np_]
+                            for server, (nw, np_) in sorted(layout.items())
+                        },
+                    )
+
+            targets = []
+            by_id = {view.job_id: view for view in views}
+            for job_id, layout in decision.layouts.items():
+                view = by_id[job_id]
+                targets.append(
+                    JobTarget(
+                        job_id=job_id,
+                        worker_demand=view.spec.worker_demand,
+                        ps_demand=view.spec.ps_demand,
+                        layout=dict(layout),
+                    )
                 )
-            )
-        report = self.controller.reconcile(
-            targets,
-            job_progress=dict(progress or {}),
-            scope=self._known_jobs | managed,
-        )
+            with self.profiler.phase("reconcile"):
+                report = self.controller.reconcile(
+                    targets,
+                    job_progress=dict(progress or {}),
+                    scope=self._known_jobs | managed,
+                )
+        if tracer:
+            for job_id in report.jobs_scaled:
+                alloc = decision.allocations.get(job_id)
+                tracer.emit(
+                    EVENT_JOB_RESCALED,
+                    now,
+                    job_id=job_id,
+                    new=[alloc.workers, alloc.ps] if alloc else None,
+                )
+        metrics = self.metrics
+        metrics.counter("loop.steps").inc()
+        metrics.counter("loop.pods_created").inc(report.pods_created)
+        metrics.counter("loop.pods_deleted").inc(report.pods_deleted)
+        metrics.counter("loop.jobs_scaled").inc(len(report.jobs_scaled))
         self._known_jobs = managed
         paused = tuple(
             sorted(job_id for job_id in managed if job_id not in decision.layouts)
         )
+        if tracer:
+            tracer.emit(
+                EVENT_INTERVAL_TICK,
+                now,
+                running_jobs=len(decision.scheduled_jobs),
+                active_jobs=len(managed),
+                paused_jobs=len(paused),
+                phases=self.profiler.interval_timings(),
+            )
+        self._step_index += 1
         return StepReport(decision=decision, reconcile=report, paused=paused)
 
     def drain(self, progress: Optional[Mapping[str, float]] = None) -> ReconcileReport:

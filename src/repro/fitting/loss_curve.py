@@ -179,23 +179,23 @@ def fit_loss_curve(
             f"need at least {MIN_POINTS} points to fit, got {len(steps)}"
         )
     if preprocess:
-        k, l, scale = preprocess_losses(steps, losses)
+        k, vals, scale = preprocess_losses(steps, losses)
     else:
         order = np.argsort(np.asarray(steps, dtype=float))
         k = np.asarray(steps, dtype=float)[order]
-        l = np.asarray(losses, dtype=float)[order]
+        vals = np.asarray(losses, dtype=float)[order]
         scale = 1.0
-    if np.any(l <= 0):
+    if np.any(vals <= 0):
         raise FittingError("losses must be positive")
 
-    min_loss = float(l.min())
+    min_loss = float(vals.min())
     upper = min_loss * 0.999
 
     best: Optional[Tuple[float, float, float, float]] = None  # (rmse, b0, b1, b2)
 
     def consider(beta2: float) -> float:
         nonlocal best
-        result = _nnls_for_beta2(k, l, beta2)
+        result = _nnls_for_beta2(k, vals, beta2)
         if result is None:
             return math.inf
         beta0, beta1, rmse = result

@@ -5,7 +5,7 @@ controller implementing checkpoint-based elastic scaling -- the plumbing the
 real Optimus gets from Kubernetes + etcd.
 """
 
-from repro.k8s.api import APIServer, NODE_PREFIX, POD_PREFIX
+from repro.k8s.api import NODE_PREFIX, POD_PREFIX, APIServer
 from repro.k8s.controller import (
     CHECKPOINT_PREFIX,
     JobController,

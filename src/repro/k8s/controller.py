@@ -13,11 +13,10 @@ fault-tolerance story).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.resources import ResourceVector
-from repro.common.errors import KVStoreError
 from repro.k8s.api import APIServer
 from repro.k8s.objects import PodSpec, pod_name
 

@@ -1,0 +1,94 @@
+"""Structured observability: event tracing, metrics and profiling hooks.
+
+The schedulers in this repository make one decision per scheduling
+interval; understanding *why* a decision was made and *where* interval
+time goes requires telemetry the paper's evaluation (and every perf PR
+here) leans on. This package provides that substrate with zero external
+dependencies:
+
+* :mod:`repro.obs.tracer` -- typed JSONL event tracing
+  (``job_arrived`` .. ``interval_tick``); off by default via
+  :data:`NULL_TRACER`.
+* :mod:`repro.obs.registry` -- counters, gauges, fixed-bucket histograms,
+  ``timer()`` context managers and the per-interval
+  :class:`PhaseProfiler`; off by default via :data:`NULL_REGISTRY`.
+* :mod:`repro.obs.summarize` -- turn a trace file into per-phase time
+  breakdowns and per-job decision timelines.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_PROFILER,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullPhaseProfiler,
+    NullRegistry,
+    PhaseProfiler,
+    active_registry,
+    install_registry,
+    use_registry,
+)
+from repro.obs.summarize import (
+    decision_timeline,
+    job_timelines,
+    phase_breakdown,
+    summarize_file,
+    summarize_trace,
+)
+from repro.obs.tracer import (
+    EVENT_ALLOCATION_DECIDED,
+    EVENT_INTERVAL_TICK,
+    EVENT_JOB_ARRIVED,
+    EVENT_JOB_COMPLETED,
+    EVENT_JOB_RESCALED,
+    EVENT_PLACEMENT_DECIDED,
+    EVENT_STRAGGLER_DETECTED,
+    EVENT_TYPES,
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+    read_trace,
+)
+
+__all__ = [
+    # tracer
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "read_trace",
+    "EVENT_TYPES",
+    "EVENT_JOB_ARRIVED",
+    "EVENT_ALLOCATION_DECIDED",
+    "EVENT_PLACEMENT_DECIDED",
+    "EVENT_JOB_RESCALED",
+    "EVENT_STRAGGLER_DETECTED",
+    "EVENT_JOB_COMPLETED",
+    "EVENT_INTERVAL_TICK",
+    # registry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_TIME_BUCKETS",
+    "active_registry",
+    "install_registry",
+    "use_registry",
+    "PhaseProfiler",
+    "NullPhaseProfiler",
+    "NULL_PROFILER",
+    # summarize
+    "phase_breakdown",
+    "job_timelines",
+    "decision_timeline",
+    "summarize_trace",
+    "summarize_file",
+]

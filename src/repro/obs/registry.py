@@ -1,0 +1,379 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the numeric half of the observability layer (the tracer is
+the event half). It is deliberately tiny and dependency-free:
+
+* :class:`Counter` -- monotonically increasing totals (jobs admitted,
+  allocation grants, pods created, ...).
+* :class:`Gauge` -- last-written values (active jobs, leftover CPU, ...).
+* :class:`Histogram` -- fixed-bucket distributions; the default buckets are
+  tuned for phase timings in seconds.
+* :meth:`MetricsRegistry.timer` -- a context manager that times its body
+  into a histogram, used for the per-interval phase profiling hooks.
+
+A process-wide *active* registry lets leaf algorithms
+(:func:`repro.core.allocation.allocate`, :func:`repro.core.placement.place_jobs`)
+record into whatever registry the caller installed without threading one
+through every signature. The default active registry is
+:data:`NULL_REGISTRY`, whose instruments are shared no-ops, so instrumented
+hot paths cost one dict lookup and one no-op call when metrics are off.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Default histogram buckets (seconds): 10 µs .. 30 s, roughly log-spaced.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-5,
+    1e-4,
+    1e-3,
+    5e-3,
+    0.025,
+    0.1,
+    0.5,
+    2.0,
+    10.0,
+    30.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with running count/sum/min/max.
+
+    ``bounds`` are upper bucket edges; one implicit overflow bucket catches
+    everything beyond the last edge. ``bucket_counts[i]`` is the number of
+    observations ``<= bounds[i]`` but greater than the previous edge.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        edges = tuple(float(b) for b in bounds)
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ConfigurationError(
+                "histogram bounds must be non-empty and strictly increasing"
+            )
+        self.bounds = edges
+        self.bucket_counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-upper-bound estimate of the q-th quantile (q in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("q must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def snapshot(self) -> Dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in zip(
+                    # The overflow edge is the string "inf" so the snapshot
+                    # stays strict JSON (json.dumps would emit Infinity).
+                    list(self.bounds) + ["inf"],
+                    self.bucket_counts,
+                )
+            ],
+        }
+
+
+class _Timer:
+    """Context manager that observes its wall-clock body into a histogram."""
+
+    __slots__ = ("_histogram", "_start", "elapsed")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._histogram.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(bounds)
+        return instrument
+
+    def timer(self, name: str) -> _Timer:
+        """Time a ``with`` body into the histogram called *name*."""
+        return _Timer(self.histogram(name))
+
+    def snapshot(self) -> Dict:
+        """A JSON-ready dump of every instrument."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullTimer:
+    """Shared no-op timer context manager."""
+
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_TIMER = _NullTimer()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: shared no-op instruments, truthiness False."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name, bounds=DEFAULT_TIME_BUCKETS):  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def timer(self, name: str):  # type: ignore[override]
+        return _NULL_TIMER
+
+    def snapshot(self) -> Dict:
+        return {}
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Shared default instance.
+NULL_REGISTRY = NullRegistry()
+
+#: The process-wide registry leaf algorithms record into.
+_ACTIVE: MetricsRegistry = NULL_REGISTRY
+
+
+def active_registry() -> MetricsRegistry:
+    """The currently installed registry (:data:`NULL_REGISTRY` by default)."""
+    return _ACTIVE
+
+
+def install_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install *registry* as the active one; returns the previous registry.
+
+    Passing ``None`` restores the null registry.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry]) -> Iterator[MetricsRegistry]:
+    """Scope *registry* as the active one for a ``with`` block."""
+    previous = install_registry(registry)
+    try:
+        yield active_registry()
+    finally:
+        install_registry(previous)
+
+
+class PhaseProfiler:
+    """Per-interval phase timing: the engine's profiling hook.
+
+    Each phase (snapshot, fit, allocate, place, reconcile, progress, ...)
+    is timed with a context manager. Durations land in two places: the
+    current interval's dict (reset by :meth:`begin_interval`, read by
+    :meth:`interval_timings` into the ``interval_tick`` trace event) and
+    the cumulative per-phase histograms of the attached registry under
+    ``phase.<name>``.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._current: Dict[str, float] = {}
+        self._totals: Dict[str, List[float]] = {}  # name -> [count, total, max]
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._current[name] = self._current.get(name, 0.0) + elapsed
+            stats = self._totals.get(name)
+            if stats is None:
+                stats = self._totals[name] = [0, 0.0, 0.0]
+            stats[0] += 1
+            stats[1] += elapsed
+            stats[2] = max(stats[2], elapsed)
+            self.metrics.histogram(f"phase.{name}").observe(elapsed)
+
+    def begin_interval(self) -> None:
+        self._current = {}
+
+    def interval_timings(self) -> Dict[str, float]:
+        """This interval's phase durations (seconds), by phase name."""
+        return dict(self._current)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Cumulative per-phase stats: count, total, mean, max."""
+        return {
+            name: {
+                "count": stats[0],
+                "total": stats[1],
+                "mean": stats[1] / stats[0] if stats[0] else 0.0,
+                "max": stats[2],
+            }
+            for name, stats in sorted(self._totals.items())
+        }
+
+
+class NullPhaseProfiler(PhaseProfiler):
+    """Profiling disabled: ``phase`` is a shared no-op context manager."""
+
+    def __init__(self) -> None:
+        super().__init__(NULL_REGISTRY)
+
+    def phase(self, name: str):  # type: ignore[override]
+        return _NULL_TIMER
+
+    def begin_interval(self) -> None:
+        pass
+
+    def interval_timings(self) -> Dict[str, float]:
+        return {}
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Shared default instance.
+NULL_PROFILER = NullPhaseProfiler()

@@ -1,0 +1,184 @@
+"""Turn a JSONL trace into a human-readable report.
+
+Two views are produced from the same event stream:
+
+* **Per-phase time breakdown** -- aggregated from the ``phases`` field of
+  ``interval_tick`` events: where does a scheduling interval's wall-clock
+  time go (snapshot, fit, allocate, place, reconcile, progress)?
+* **Per-job decision timeline** -- every ``job_*`` / ``*_decided`` event
+  for each job in order: when it arrived, what it was granted each
+  interval, when it was rescaled, when it completed.
+
+Usage::
+
+    python -m repro.obs.summarize trace.jsonl
+    optimus-repro trace trace.jsonl
+
+or programmatically through :func:`summarize_trace`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.tracer import (
+    EVENT_ALLOCATION_DECIDED,
+    EVENT_INTERVAL_TICK,
+    EVENT_JOB_ARRIVED,
+    EVENT_JOB_COMPLETED,
+    EVENT_JOB_RESCALED,
+    EVENT_PLACEMENT_DECIDED,
+    EVENT_STRAGGLER_DETECTED,
+    read_trace,
+)
+from repro.report import format_table
+
+
+def phase_breakdown(events: Sequence[Dict]) -> Dict[str, Dict[str, float]]:
+    """Aggregate ``interval_tick.phases`` into per-phase totals.
+
+    Returns ``{phase: {count, total, mean, share}}`` where ``share`` is the
+    phase's fraction of all profiled time across the trace.
+    """
+    totals: Dict[str, List[float]] = {}
+    for event in events:
+        if event.get("event") != EVENT_INTERVAL_TICK:
+            continue
+        for phase, seconds in (event.get("phases") or {}).items():
+            stats = totals.setdefault(phase, [0.0, 0.0])
+            stats[0] += 1
+            stats[1] += float(seconds)
+    grand_total = sum(stats[1] for stats in totals.values())
+    return {
+        phase: {
+            "count": stats[0],
+            "total": stats[1],
+            "mean": stats[1] / stats[0] if stats[0] else 0.0,
+            "share": stats[1] / grand_total if grand_total > 0 else 0.0,
+        }
+        for phase, stats in sorted(totals.items())
+    }
+
+
+def job_timelines(events: Sequence[Dict]) -> Dict[str, List[Dict]]:
+    """Group per-job events (anything carrying ``job_id``) by job, in order."""
+    timelines: Dict[str, List[Dict]] = {}
+    for event in events:
+        job_id = event.get("job_id")
+        if job_id is not None:
+            timelines.setdefault(job_id, []).append(event)
+    return timelines
+
+
+def _describe(event: Dict) -> str:
+    kind = event["event"]
+    if kind == EVENT_JOB_ARRIVED:
+        return f"arrived ({event.get('model', '?')}, {event.get('mode', '?')})"
+    if kind == EVENT_ALLOCATION_DECIDED:
+        return f"allocated w={event.get('workers')} ps={event.get('ps')}"
+    if kind == EVENT_PLACEMENT_DECIDED:
+        return f"placed on {event.get('servers')} server(s)"
+    if kind == EVENT_JOB_RESCALED:
+        old = event.get("old", ["?", "?"])
+        new = event.get("new", ["?", "?"])
+        return (
+            f"rescaled ({old[0]}, {old[1]}) -> ({new[0]}, {new[1]}), "
+            f"overhead {event.get('overhead', 0):.0f}s"
+        )
+    if kind == EVENT_STRAGGLER_DETECTED:
+        return f"straggler episode(s): {event.get('episodes')}"
+    if kind == EVENT_JOB_COMPLETED:
+        return f"completed after {event.get('steps', 0):.0f} steps"
+    return kind
+
+
+def decision_timeline(events: Sequence[Dict], job_id: str) -> List[str]:
+    """Human-readable one-liners for one job's lifecycle."""
+    lines = []
+    for event in job_timelines(events).get(job_id, []):
+        lines.append(f"t={event['time']:>10.0f}  {_describe(event)}")
+    return lines
+
+
+def summarize_trace(
+    events: Sequence[Dict], max_events_per_job: Optional[int] = 8
+) -> str:
+    """Render the full report: phase breakdown + per-job timelines."""
+    sections: List[str] = []
+
+    breakdown = phase_breakdown(events)
+    sections.append(f"trace summary: {len(events)} events")
+    if breakdown:
+        rows = [
+            [
+                phase,
+                int(stats["count"]),
+                stats["total"],
+                stats["mean"] * 1e3,
+                100.0 * stats["share"],
+            ]
+            for phase, stats in sorted(
+                breakdown.items(), key=lambda kv: -kv[1]["total"]
+            )
+        ]
+        sections.append("")
+        sections.append("per-phase time breakdown:")
+        sections.append(
+            format_table(
+                ["phase", "intervals", "total (s)", "mean (ms)", "share (%)"],
+                rows,
+            )
+        )
+
+    timelines = job_timelines(events)
+    if timelines:
+        sections.append("")
+        sections.append("per-job decision timelines:")
+        for job_id in sorted(timelines):
+            job_events = timelines[job_id]
+            sections.append(f"\n{job_id} ({len(job_events)} events):")
+            shown = job_events
+            if max_events_per_job is not None and len(shown) > max_events_per_job:
+                head = max_events_per_job // 2
+                tail = max_events_per_job - head
+                omitted = len(shown) - head - tail
+                shown = (
+                    shown[:head]
+                    + [{"time": float("nan"), "event": f"... {omitted} more ..."}]
+                    + shown[-tail:]
+                )
+            for event in shown:
+                if event["event"].startswith("..."):
+                    sections.append(f"  {event['event']}")
+                else:
+                    sections.append(f"  t={event['time']:>10.0f}  {_describe(event)}")
+    return "\n".join(sections)
+
+
+def summarize_file(path: str, max_events_per_job: Optional[int] = 8) -> str:
+    """Read a JSONL trace file and render its report."""
+    return summarize_trace(read_trace(path), max_events_per_job)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.summarize",
+        description="Summarise a JSONL trace produced by --trace-out.",
+    )
+    parser.add_argument("trace", help="path to the .jsonl trace file")
+    parser.add_argument(
+        "--max-events-per-job",
+        type=int,
+        default=8,
+        help="truncate each job's timeline to this many events (0 = no limit)",
+    )
+    args = parser.parse_args(argv)
+    limit = args.max_events_per_job if args.max_events_per_job > 0 else None
+    print(summarize_file(args.trace, max_events_per_job=limit))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

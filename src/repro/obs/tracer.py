@@ -1,0 +1,169 @@
+"""Structured event tracing for the scheduler pipeline.
+
+A :class:`Tracer` receives *typed* events -- ``job_arrived``,
+``allocation_decided``, ``placement_decided``, ``job_rescaled``,
+``straggler_detected``, ``job_completed``, ``interval_tick`` -- from the
+simulation engine and the deployment control loop. Every event carries a
+monotonically increasing ``seq`` number, the simulation (or step) time it
+happened at, and event-specific fields.
+
+Three implementations cover every use:
+
+* :data:`NULL_TRACER` -- the default; truthiness-false so hot paths can skip
+  building event payloads entirely (``if tracer: tracer.emit(...)``).
+* :class:`RecordingTracer` -- keeps events in memory (tests, notebooks).
+* :class:`JsonlTracer` -- streams events as JSON Lines to a file, one JSON
+  object per line, readable by :mod:`repro.obs.summarize`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TextIO, Union
+
+from repro.common.errors import ConfigurationError
+
+#: A job entered the system and was admitted by the engine.
+EVENT_JOB_ARRIVED = "job_arrived"
+#: The allocator granted a job its (workers, ps) counts for one interval.
+EVENT_ALLOCATION_DECIDED = "allocation_decided"
+#: The placer mapped a job's tasks onto servers for one interval.
+EVENT_PLACEMENT_DECIDED = "placement_decided"
+#: A running job's (workers, ps) changed and it paid the §5.4 scaling cost.
+EVENT_JOB_RESCALED = "job_rescaled"
+#: A straggler episode hit one of a job's workers this interval (§5.2).
+EVENT_STRAGGLER_DETECTED = "straggler_detected"
+#: A job reached its convergence stopping rule.
+EVENT_JOB_COMPLETED = "job_completed"
+#: One scheduling interval finished; carries the per-phase timings.
+EVENT_INTERVAL_TICK = "interval_tick"
+
+#: Every event type a tracer accepts.
+EVENT_TYPES = frozenset(
+    {
+        EVENT_JOB_ARRIVED,
+        EVENT_ALLOCATION_DECIDED,
+        EVENT_PLACEMENT_DECIDED,
+        EVENT_JOB_RESCALED,
+        EVENT_STRAGGLER_DETECTED,
+        EVENT_JOB_COMPLETED,
+        EVENT_INTERVAL_TICK,
+    }
+)
+
+
+class Tracer:
+    """Base tracer: validates events and hands them to :meth:`_record`.
+
+    Subclasses implement :meth:`_record`; callers only ever use
+    :meth:`emit`. A tracer is truthy exactly when it is enabled, so the
+    hot-path guard ``if tracer: tracer.emit(...)`` costs one bool check
+    when tracing is off.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._seq = 0
+
+    def emit(self, event: str, time: float, **fields) -> Optional[Dict]:
+        """Record one event; returns the event dict (or None when disabled)."""
+        if event not in EVENT_TYPES:
+            raise ConfigurationError(
+                f"unknown trace event {event!r}; known: {sorted(EVENT_TYPES)}"
+            )
+        payload: Dict = {"seq": self._seq, "time": float(time), "event": event}
+        payload.update(fields)
+        self._seq += 1
+        self._record(payload)
+        return payload
+
+    def _record(self, payload: Dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (a no-op by default)."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every call is a no-op, truthiness is False."""
+
+    enabled = False
+
+    def emit(self, event: str, time: float, **fields) -> Optional[Dict]:
+        return None
+
+    def _record(self, payload: Dict) -> None:  # pragma: no cover - unreachable
+        pass
+
+
+#: Shared default instance -- hot paths compare against this cheaply.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """Keeps every event in an in-memory list (``tracer.events``)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[Dict] = []
+
+    def _record(self, payload: Dict) -> None:
+        self.events.append(payload)
+
+    def of_type(self, event: str) -> List[Dict]:
+        """All recorded events of one type, in emission order."""
+        return [e for e in self.events if e["event"] == event]
+
+    def for_job(self, job_id: str) -> List[Dict]:
+        """All recorded events carrying this ``job_id``, in emission order."""
+        return [e for e in self.events if e.get("job_id") == job_id]
+
+
+class JsonlTracer(Tracer):
+    """Streams events to a JSON-Lines file (one JSON object per line)."""
+
+    def __init__(self, destination: Union[str, TextIO]):
+        super().__init__()
+        if isinstance(destination, str):
+            self._stream: TextIO = open(destination, "w", encoding="utf8")
+            self._owns_stream = True
+        else:
+            self._stream = destination
+            self._owns_stream = False
+
+    def _record(self, payload: Dict) -> None:
+        self._stream.write(json.dumps(payload, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+def read_trace(source: Union[str, TextIO]) -> List[Dict]:
+    """Parse a JSONL trace back into a list of event dicts."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf8") as handle:
+            return read_trace(handle)
+    events = []
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"trace line {lineno} is not valid JSON: {exc}"
+            ) from exc
+    return events

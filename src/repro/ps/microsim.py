@@ -24,7 +24,7 @@ produces the §5.3 slowdown the closed-form models with ``rho_max * p``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
 
@@ -138,6 +138,7 @@ def result_to_dict(result) -> Dict:
             }
             for record in result.jobs.values()
         ],
+        "phase_timings": result.phase_timings,
         "timeline": [
             {
                 "time": slot.time,

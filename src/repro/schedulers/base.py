@@ -12,12 +12,18 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.resources import ResourceVector
 from repro.core.allocation import TaskAllocation
 from repro.core.placement import JobLayout
+from repro.obs.registry import (
+    NULL_PROFILER,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    PhaseProfiler,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.workloads.job import JobSpec
 
 
@@ -102,6 +108,28 @@ class Scheduler(abc.ABC):
 
     #: Human-readable name used in reports and plots.
     name: str = "scheduler"
+
+    #: Observability hooks -- no-op class-level defaults so schedulers stay
+    #: zero-cost when uninstrumented; :meth:`instrument` overrides them per
+    #: instance (the engine and control loop call it automatically).
+    tracer: Tracer = NULL_TRACER
+    metrics: MetricsRegistry = NULL_REGISTRY
+    profiler: PhaseProfiler = NULL_PROFILER
+
+    def instrument(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[PhaseProfiler] = None,
+    ) -> "Scheduler":
+        """Attach observability sinks; returns self for chaining."""
+        if tracer is not None:
+            self.tracer = tracer
+        if metrics is not None:
+            self.metrics = metrics
+        if profiler is not None:
+            self.profiler = profiler
+        return self
 
     @abc.abstractmethod
     def schedule(

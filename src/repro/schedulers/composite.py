@@ -14,11 +14,7 @@ from repro.common.errors import SchedulingError
 from repro.core.allocation import TaskAllocation
 from repro.core.placement import PlacementRequest
 from repro.schedulers.base import JobView, Scheduler, SchedulingDecision
-from repro.schedulers.policies import (
-    ALLOCATION_POLICIES,
-    PLACEMENT_POLICIES,
-    optimus_allocation,
-)
+from repro.schedulers.policies import ALLOCATION_POLICIES, PLACEMENT_POLICIES
 
 
 class CompositeScheduler(Scheduler):
@@ -105,10 +101,11 @@ class CompositeScheduler(Scheduler):
         views = {v.job_id: v for v in jobs}
         # Allocation works against what is actually free: foreign tenants'
         # pods or background reservations may already occupy the cluster.
-        allocations: Dict[str, TaskAllocation] = self.allocation_policy(
-            jobs, cluster.total_available, **self.allocation_kwargs
-        )
-        allocations = self._apply_rescale_hysteresis(allocations, views)
+        with self.profiler.phase("allocate"):
+            allocations: Dict[str, TaskAllocation] = self.allocation_policy(
+                jobs, cluster.total_available, **self.allocation_kwargs
+            )
+            allocations = self._apply_rescale_hysteresis(allocations, views)
         requests = [
             PlacementRequest(
                 job_id=job_id,
@@ -120,38 +117,40 @@ class CompositeScheduler(Scheduler):
             for job_id, alloc in allocations.items()
             if alloc.workers >= 1 and alloc.ps >= 1
         ]
-        placement = self.placement_policy(cluster, requests)
-        layouts = dict(placement.layouts)
-        final_allocations = {
-            job_id: alloc
-            for job_id, alloc in allocations.items()
-            if job_id in layouts
-        }
-        # Allocation works against aggregate capacity (constraint (7)), so
-        # fragmentation can make a granted allocation unplaceable. Rather
-        # than pausing such a job for the whole interval (which would starve
-        # large jobs indefinitely under a persistent load), shrink its task
-        # counts and retry until it fits or even (1, 1) is rejected.
-        for job_id in placement.unplaced:
-            alloc = allocations[job_id]
-            workers, ps = alloc.workers, alloc.ps
-            while True:
-                retry = PlacementRequest(
-                    job_id=job_id,
-                    workers=workers,
-                    ps=ps,
-                    worker_demand=views[job_id].spec.worker_demand,
-                    ps_demand=views[job_id].spec.ps_demand,
-                )
-                result = self.placement_policy(cluster, [retry])
-                if job_id in result.layouts:
-                    layouts[job_id] = result.layouts[job_id]
-                    final_allocations[job_id] = TaskAllocation(workers, ps)
-                    break
-                if (workers, ps) == (1, 1):
-                    break  # genuinely no room; paused this interval (§4.2)
-                workers = max(1, workers // 2)
-                ps = max(1, ps // 2)
+        with self.profiler.phase("place"):
+            placement = self.placement_policy(cluster, requests)
+            layouts = dict(placement.layouts)
+            final_allocations = {
+                job_id: alloc
+                for job_id, alloc in allocations.items()
+                if job_id in layouts
+            }
+            # Allocation works against aggregate capacity (constraint (7)),
+            # so fragmentation can make a granted allocation unplaceable.
+            # Rather than pausing such a job for the whole interval (which
+            # would starve large jobs indefinitely under a persistent load),
+            # shrink its task counts and retry until it fits or even (1, 1)
+            # is rejected.
+            for job_id in placement.unplaced:
+                alloc = allocations[job_id]
+                workers, ps = alloc.workers, alloc.ps
+                while True:
+                    retry = PlacementRequest(
+                        job_id=job_id,
+                        workers=workers,
+                        ps=ps,
+                        worker_demand=views[job_id].spec.worker_demand,
+                        ps_demand=views[job_id].spec.ps_demand,
+                    )
+                    result = self.placement_policy(cluster, [retry])
+                    if job_id in result.layouts:
+                        layouts[job_id] = result.layouts[job_id]
+                        final_allocations[job_id] = TaskAllocation(workers, ps)
+                        break
+                    if (workers, ps) == (1, 1):
+                        break  # genuinely no room; paused (§4.2)
+                    workers = max(1, workers // 2)
+                    ps = max(1, ps // 2)
         decision = SchedulingDecision(
             allocations=final_allocations, layouts=layouts
         )

@@ -20,7 +20,7 @@ configurations). This engine is that simulator:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
@@ -28,6 +28,24 @@ from repro.common.errors import SimulationError
 from repro.common.rand import RandomSource
 from repro.core.allocation import TaskAllocation
 from repro.datastore.hdfs import ChunkStore
+from repro.obs.registry import (
+    NULL_PROFILER,
+    MetricsRegistry,
+    PhaseProfiler,
+    active_registry,
+    use_registry,
+)
+from repro.obs.tracer import (
+    EVENT_ALLOCATION_DECIDED,
+    EVENT_INTERVAL_TICK,
+    EVENT_JOB_ARRIVED,
+    EVENT_JOB_COMPLETED,
+    EVENT_JOB_RESCALED,
+    EVENT_PLACEMENT_DECIDED,
+    EVENT_STRAGGLER_DETECTED,
+    NULL_TRACER,
+    Tracer,
+)
 from repro.schedulers.base import Scheduler
 from repro.sim.metrics import JobRecord, SimulationResult, TimeSlot
 from repro.sim.runtime import ESTIMATOR_MODES, RuntimeJob, ScalingCosts
@@ -98,6 +116,8 @@ class Simulation:
         scheduler: Scheduler,
         jobs: Sequence[JobSpec],
         config: Optional[SimConfig] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not jobs:
             raise SimulationError("need at least one job")
@@ -112,6 +132,19 @@ class Simulation:
         self._store = ChunkStore(data_nodes=list(cluster.server_names))
         self._injector = StragglerInjector(self.config.stragglers, self._seed)
         self._measure_rng = self._seed.child("interval-speed").rng
+
+        # Observability (repro.obs). Both sinks default to off; with no
+        # tracer and no registry the profiler is the shared no-op, so the
+        # hot loop pays only truthiness checks.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else active_registry()
+        if self.tracer or self.metrics:
+            self.profiler = PhaseProfiler(self.metrics)
+        else:
+            self.profiler = NULL_PROFILER
+        self.scheduler.instrument(
+            tracer=self.tracer, metrics=self.metrics, profiler=self.profiler
+        )
 
     # -- job lifecycle -----------------------------------------------------------
     def _admit(self, spec: JobSpec) -> RuntimeJob:
@@ -190,6 +223,17 @@ class Simulation:
             return
         w, p = allocation.workers, allocation.ps
         overhead = job.scaling_overhead(allocation)
+        if self.tracer and job.started and allocation != job.last_allocation:
+            self.tracer.emit(
+                EVENT_JOB_RESCALED,
+                now,
+                job_id=job.spec.job_id,
+                old=[job.last_allocation.workers, job.last_allocation.ps],
+                new=[w, p],
+                overhead=overhead,
+            )
+        if overhead > 0 and job.started:
+            self.metrics.counter("engine.rescales").inc()
         run_time = max(cfg.interval - overhead, 0.0)
         job.note_interval(allocation, overhead)
         if run_time <= 0:
@@ -205,6 +249,15 @@ class Simulation:
         )
         episodes = self._injector.sample(w, cfg.interval)
         if episodes:
+            if self.tracer:
+                self.tracer.emit(
+                    EVENT_STRAGGLER_DETECTED,
+                    now,
+                    job_id=job.spec.job_id,
+                    episodes=len(episodes),
+                    handled=cfg.stragglers.handling_enabled,
+                )
+            self.metrics.counter("engine.straggler_episodes").inc(len(episodes))
             plain = job.truth.speed(p, w, imbalance=imbalance)
             degraded = effective_interval_speed(
                 job.truth, p, w, episodes, run_time, imbalance=imbalance
@@ -267,7 +320,14 @@ class Simulation:
 
     # -- the main loop --------------------------------------------------------------
     def run(self) -> SimulationResult:
+        with use_registry(self.metrics):
+            return self._run()
+
+    def _run(self) -> SimulationResult:
         cfg = self.config
+        tracer = self.tracer
+        metrics = self.metrics
+        profiler = self.profiler
         pending: List[JobSpec] = list(self.specs)
         active: Dict[str, RuntimeJob] = {}
         done: Dict[str, RuntimeJob] = {}
@@ -276,9 +336,20 @@ class Simulation:
         now = 0.0
 
         while (pending or active) and now <= cfg.max_time:
+            profiler.begin_interval()
             while pending and pending[0].arrival_time <= now:
                 spec = pending.pop(0)
                 active[spec.job_id] = self._admit(spec)
+                if tracer:
+                    tracer.emit(
+                        EVENT_JOB_ARRIVED,
+                        now,
+                        job_id=spec.job_id,
+                        model=spec.model_name,
+                        mode=spec.mode,
+                        arrival_time=spec.arrival_time,
+                    )
+                metrics.counter("engine.jobs_admitted").inc()
 
             if not active:
                 # Idle cluster: fast-forward to the boundary after the next
@@ -287,23 +358,74 @@ class Simulation:
                 now = math.ceil(next_arrival / cfg.interval) * cfg.interval
                 continue
 
-            views = [job.view() for job in active.values()]
-            work_cluster = self.cluster.snapshot()
-            self._reserve_background(work_cluster, now)
-            decision = self.scheduler.schedule(work_cluster, views)
+            with profiler.phase("fit"):
+                views = [job.view() for job in active.values()]
+            with profiler.phase("snapshot"):
+                work_cluster = self.cluster.snapshot()
+                self._reserve_background(work_cluster, now)
+            # The scheduler itself times its "allocate" and "place"
+            # sub-phases through the shared profiler (see CompositeScheduler).
+            with profiler.phase("schedule"):
+                decision = self.scheduler.schedule(work_cluster, views)
 
-            nic_shares = self._nic_shares(decision.layouts)
-            for job_id, job in active.items():
-                allocation = decision.allocations.get(job_id)
-                layout = decision.layouts.get(job_id)
-                self._run_job_interval(job, allocation, layout, now, nic_shares)
+            if tracer:
+                for job_id, alloc in decision.allocations.items():
+                    tracer.emit(
+                        EVENT_ALLOCATION_DECIDED,
+                        now,
+                        job_id=job_id,
+                        workers=alloc.workers,
+                        ps=alloc.ps,
+                    )
+                for job_id, layout in decision.layouts.items():
+                    tracer.emit(
+                        EVENT_PLACEMENT_DECIDED,
+                        now,
+                        job_id=job_id,
+                        servers=len(layout),
+                        layout={
+                            server: [nw, np_]
+                            for server, (nw, np_) in sorted(layout.items())
+                        },
+                    )
+
+            with profiler.phase("progress"):
+                nic_shares = self._nic_shares(decision.layouts)
+                for job_id, job in active.items():
+                    allocation = decision.allocations.get(job_id)
+                    layout = decision.layouts.get(job_id)
+                    self._run_job_interval(
+                        job, allocation, layout, now, nic_shares
+                    )
 
             timeline.append(self._slot(now, active, dict(decision.allocations)))
             if cfg.record_decisions:
                 decisions.append(dict(decision.allocations))
 
             for job_id in [j for j, job in active.items() if job.completed]:
-                done[job_id] = active.pop(job_id)
+                job = active.pop(job_id)
+                done[job_id] = job
+                if tracer:
+                    tracer.emit(
+                        EVENT_JOB_COMPLETED,
+                        now,
+                        job_id=job_id,
+                        completion_time=job.completion_time,
+                        steps=job.steps_done,
+                        num_scalings=job.num_scalings,
+                    )
+                metrics.counter("engine.jobs_completed").inc()
+            metrics.counter("engine.intervals").inc()
+            metrics.gauge("engine.active_jobs").set(float(len(active)))
+            if tracer:
+                tracer.emit(
+                    EVENT_INTERVAL_TICK,
+                    now,
+                    running_jobs=len(decision.scheduled_jobs),
+                    active_jobs=len(active),
+                    pending_jobs=len(pending),
+                    phases=profiler.interval_timings(),
+                )
             now += cfg.interval
 
         done.update(active)  # unfinished jobs (hit max_time) included as such
@@ -334,6 +456,7 @@ class Simulation:
                 num_scalings=0,
                 chunks_moved=0,
             )
+        phase_timings = self.profiler.summary() or None
         return SimulationResult(
             scheduler_name=self.scheduler.name,
             jobs=records,
@@ -341,6 +464,7 @@ class Simulation:
             interval=cfg.interval,
             seed=cfg.seed,
             decisions=decisions if cfg.record_decisions else None,
+            phase_timings=phase_timings,
         )
 
 
@@ -349,6 +473,14 @@ def simulate(
     scheduler: Scheduler,
     jobs: Sequence[JobSpec],
     config: Optional[SimConfig] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SimulationResult:
-    """Convenience one-shot wrapper around :class:`Simulation`."""
-    return Simulation(cluster, scheduler, jobs, config).run()
+    """Convenience one-shot wrapper around :class:`Simulation`.
+
+    ``tracer`` and ``metrics`` attach the :mod:`repro.obs` sinks; both
+    default to off (the null tracer / the currently installed registry).
+    """
+    return Simulation(
+        cluster, scheduler, jobs, config, tracer=tracer, metrics=metrics
+    ).run()

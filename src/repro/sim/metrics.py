@@ -10,7 +10,7 @@ separately -- :class:`TimeSlot` captures exactly those series.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import SimulationError
@@ -81,6 +81,10 @@ class SimulationResult:
     #: Per-interval allocation audit trail ({job_id: TaskAllocation}),
     #: populated when ``SimConfig.record_decisions`` is on.
     decisions: Optional[List[Dict]] = None
+    #: Cumulative per-phase wall-clock profile of the run
+    #: ({phase: {count, total, mean, max}} in seconds), populated when the
+    #: simulation was handed a tracer or metrics registry (:mod:`repro.obs`).
+    phase_timings: Optional[Dict[str, Dict[str, float]]] = None
 
     def __post_init__(self) -> None:
         if not self.jobs:

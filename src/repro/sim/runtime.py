@@ -12,14 +12,13 @@ speeds); the ground truth stays on the simulator's side of the fence.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.common.rand import RandomSource
 from repro.core.allocation import TaskAllocation
 from repro.core.convergence import ConvergenceEstimator
-from repro.core.placement import JobLayout
 from repro.core.speed import SpeedEstimator
 from repro.datastore.hdfs import ChunkAssignment, ChunkStore
 from repro.ps.blocks import blocks_from_sizes

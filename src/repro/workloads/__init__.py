@@ -18,19 +18,6 @@ from repro.workloads.job import (
 )
 from repro.workloads.loss import LossEmitter, LossObservation, epoch_averaged
 from repro.workloads.lr_schedule import SteppedLossCurve, with_lr_drops
-from repro.workloads.valmetrics import (
-    EpochMetrics,
-    ValidationEmitter,
-    no_overfitting,
-)
-from repro.workloads.trace import (
-    job_from_dict,
-    job_to_dict,
-    jobs_from_json,
-    jobs_to_json,
-    load_trace,
-    save_trace,
-)
 from repro.workloads.profiles import (
     MODEL_ZOO,
     LossCurveTruth,
@@ -47,6 +34,19 @@ from repro.workloads.speed import (
     StepTimeModel,
     straggler_step_time,
     validate_mode,
+)
+from repro.workloads.trace import (
+    job_from_dict,
+    job_to_dict,
+    jobs_from_json,
+    jobs_to_json,
+    load_trace,
+    save_trace,
+)
+from repro.workloads.valmetrics import (
+    EpochMetrics,
+    ValidationEmitter,
+    no_overfitting,
 )
 
 __all__ = [

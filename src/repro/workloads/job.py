@@ -12,10 +12,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.common.errors import ConfigurationError
 from repro.cluster.resources import ResourceVector, cpu_mem
+from repro.common.errors import ConfigurationError
 from repro.workloads.profiles import DEFAULT_PATIENCE, ModelProfile, get_profile
-from repro.workloads.speed import MODES, validate_mode
+from repro.workloads.speed import validate_mode
 
 #: The paper's standard container shape: 5 CPU cores, 10 GB memory (§2.3).
 DEFAULT_WORKER_DEMAND = cpu_mem(5, 10)

@@ -40,7 +40,7 @@ workers follows the paper's Eqn 2; see :mod:`repro.workloads.speed`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.cluster.resources import ResourceVector, ZERO, cpu_mem
+from repro.cluster.resources import ZERO, ResourceVector, cpu_mem
 from repro.common.errors import ConfigurationError
 
 

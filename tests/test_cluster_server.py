@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.resources import ResourceVector, cpu_mem
+from repro.cluster.resources import cpu_mem
 from repro.cluster.server import ROLE_PS, ROLE_WORKER, Server
 from repro.common.errors import CapacityError
 

@@ -1,7 +1,6 @@
 """Tests for the seeded random-number plumbing."""
 
 import numpy as np
-import pytest
 
 from repro.common.rand import RandomSource, spawn_rng
 

@@ -1,6 +1,5 @@
 """Tests for unit helpers."""
 
-import pytest
 
 from repro.common.units import (
     GB,

@@ -190,7 +190,6 @@ class TestPlacementQuality:
     using any number of servers."""
 
     def brute_force_best(self, workers, ps, num_servers, slots_per_server):
-        import itertools
 
         best = None
 

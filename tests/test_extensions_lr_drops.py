@@ -6,7 +6,6 @@ from repro.common.errors import ConfigurationError, FittingError
 from repro.core.convergence import ConvergenceEstimator
 from repro.workloads import MODEL_ZOO, LossEmitter
 from repro.workloads.lr_schedule import SteppedLossCurve, with_lr_drops
-from repro.workloads.profiles import LossCurveTruth
 
 
 @pytest.fixture

@@ -9,7 +9,7 @@ from repro.common.rand import RandomSource
 from repro.core.allocation import TaskAllocation
 from repro.k8s import APIServer, JobController, JobTarget
 from repro.schedulers import JobView, Scheduler, SchedulingDecision, make_scheduler
-from repro.sim import SimConfig, Simulation, simulate
+from repro.sim import SimConfig, simulate
 from repro.sim.runtime import RuntimeJob
 from repro.workloads import make_job, uniform_arrivals
 

@@ -1,6 +1,5 @@
 """Tests for the §3.1 preprocessing pipeline."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -107,10 +106,10 @@ class TestSubsample:
     def test_thins_long_input(self):
         steps = list(range(1000))
         losses = [float(s) for s in steps]
-        s, l = subsample(steps, losses, max_points=100)
+        s, thinned = subsample(steps, losses, max_points=100)
         assert len(s) <= 100
         assert s[0] == 0 and s[-1] == 999  # endpoints preserved
-        assert l == [float(x) for x in s]  # pairs stay aligned
+        assert thinned == [float(x) for x in s]  # pairs stay aligned
 
     def test_validation(self):
         with pytest.raises(FittingError):

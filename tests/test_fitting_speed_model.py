@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import FittingError
 from repro.fitting.speed_model import (
@@ -177,6 +176,8 @@ class TestValidation:
             fit_speed_model([(1, 1, 1.0)] * 6, "batch")
 
     def test_predict_validates_tasks(self):
-        fit = SpeedModelFit(mode="async", thetas=(1.0, 0.1, 0.01, 0.01), residual=0.0, num_samples=6)
+        fit = SpeedModelFit(
+            mode="async", thetas=(1.0, 0.1, 0.01, 0.01), residual=0.0, num_samples=6
+        )
         with pytest.raises(FittingError):
             fit.predict(0, 1)

@@ -6,7 +6,6 @@ precisely because workers and parameter servers can dominate in *different*
 resource types. These tests exercise that path end to end.
 """
 
-import pytest
 
 from repro.cluster import Cluster, ResourceVector, Server, cpu_mem
 from repro.core.allocation import AllocationRequest, allocate

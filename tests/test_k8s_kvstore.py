@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import KVStoreError
-from repro.k8s.kvstore import KVEvent, KVStore
+from repro.k8s.kvstore import KVStore
 
 
 @pytest.fixture

@@ -1,0 +1,176 @@
+"""End-to-end observability: a traced 2-job simulation run.
+
+Asserts the event stream a small oracle-mode run produces: the expected
+event sequence per job, the per-interval ticks with phase timings, the
+metrics counters, and that attaching the sinks does not perturb the
+simulation itself.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, cpu_mem
+from repro.obs import (
+    EVENT_ALLOCATION_DECIDED,
+    EVENT_INTERVAL_TICK,
+    EVENT_JOB_ARRIVED,
+    EVENT_JOB_COMPLETED,
+    EVENT_JOB_RESCALED,
+    EVENT_PLACEMENT_DECIDED,
+    MetricsRegistry,
+    RecordingTracer,
+)
+from repro.schedulers import make_scheduler
+from repro.sim import SimConfig, simulate
+from repro.workloads import uniform_arrivals
+
+
+def run_traced(seed=3, num_jobs=2, **cfg):
+    tracer = RecordingTracer()
+    metrics = MetricsRegistry()
+    jobs = uniform_arrivals(
+        num_jobs=num_jobs, window=900, seed=seed, models=["cnn-rand", "dssm"]
+    )
+    cluster = Cluster.homogeneous(4, cpu_mem(16, 64))
+    config = SimConfig(seed=seed, estimator_mode="oracle", **cfg)
+    result = simulate(
+        cluster, make_scheduler("optimus"), jobs, config,
+        tracer=tracer, metrics=metrics,
+    )
+    return result, tracer, metrics
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return run_traced()
+
+
+class TestTwoJobTrace:
+    def test_every_job_arrives_then_completes(self, traced):
+        result, tracer, _ = traced
+        assert result.all_finished
+        for job_id in result.jobs:
+            events = [e["event"] for e in tracer.for_job(job_id)]
+            assert events[0] == EVENT_JOB_ARRIVED
+            assert events[-1] == EVENT_JOB_COMPLETED
+            assert events.count(EVENT_JOB_ARRIVED) == 1
+            assert events.count(EVENT_JOB_COMPLETED) == 1
+
+    def test_allocation_precedes_placement_each_interval(self, traced):
+        _, tracer, _ = traced
+        allocations = tracer.of_type(EVENT_ALLOCATION_DECIDED)
+        placements = tracer.of_type(EVENT_PLACEMENT_DECIDED)
+        assert allocations and placements
+        # For a given job at a given time, allocation_decided comes first.
+        placed = {(e["time"], e["job_id"]): e["seq"] for e in placements}
+        for event in allocations:
+            key = (event["time"], event["job_id"])
+            if key in placed:
+                assert event["seq"] < placed[key]
+
+    def test_allocation_events_carry_worker_ps_counts(self, traced):
+        _, tracer, _ = traced
+        for event in tracer.of_type(EVENT_ALLOCATION_DECIDED):
+            assert event["workers"] >= 1
+            assert event["ps"] >= 1
+        for event in tracer.of_type(EVENT_PLACEMENT_DECIDED):
+            assert event["servers"] >= 1
+            assert isinstance(event["layout"], dict) and event["layout"]
+
+    def test_rescale_events_match_job_records(self, traced):
+        result, tracer, _ = traced
+        for job_id, record in result.jobs.items():
+            rescales = [
+                e for e in tracer.for_job(job_id)
+                if e["event"] == EVENT_JOB_RESCALED
+            ]
+            # num_scalings counts allocation changes *and* pause-resumes
+            # (but not the first launch); the event fires only on changes.
+            assert len(rescales) <= record.num_scalings
+            for event in rescales:
+                assert event["old"] != event["new"]
+                assert event["overhead"] >= 0.0
+
+    def test_interval_ticks_carry_phase_timings(self, traced):
+        _, tracer, _ = traced
+        ticks = tracer.of_type(EVENT_INTERVAL_TICK)
+        assert ticks
+        for tick in ticks:
+            assert tick["active_jobs"] >= 0
+            assert set(tick["phases"]) <= {
+                "fit", "snapshot", "schedule", "allocate", "place", "progress"
+            }
+        busy = [t for t in ticks if t["running_jobs"] > 0]
+        assert busy, "at least one interval should run jobs"
+        for tick in busy:
+            assert {"fit", "snapshot", "schedule", "progress"} <= set(tick["phases"])
+            assert all(v >= 0.0 for v in tick["phases"].values())
+
+    def test_seq_strictly_increasing_and_time_monotone(self, traced):
+        _, tracer, _ = traced
+        seqs = [e["seq"] for e in tracer.events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        times = [e["time"] for e in tracer.events]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_metrics_agree_with_trace(self, traced):
+        result, tracer, metrics = traced
+        snap = metrics.snapshot()
+        counters = snap["counters"]
+        assert counters["engine.jobs_admitted"] == len(result.jobs) == 2
+        assert counters["engine.jobs_completed"] == 2
+        assert counters["engine.intervals"] == len(
+            tracer.of_type(EVENT_INTERVAL_TICK)
+        )
+        assert counters["allocation.rounds"] >= 1
+        assert counters["placement.rounds"] >= 1
+        # Phase histograms exist for the phases the engine timed.
+        assert any(name.startswith("phase.") for name in snap["histograms"])
+
+    def test_phase_timings_surface_in_result(self, traced):
+        result, _, _ = traced
+        assert result.phase_timings
+        for stats in result.phase_timings.values():
+            assert stats["count"] >= 1
+            assert stats["total"] >= 0.0
+            assert stats["max"] <= stats["total"] + 1e-12
+
+
+class TestObservabilityIsInert:
+    def test_tracing_does_not_change_results(self):
+        def once(**sinks):
+            return simulate(
+                Cluster.homogeneous(4, cpu_mem(16, 64)),
+                make_scheduler("optimus"),
+                uniform_arrivals(
+                    num_jobs=2, window=900, seed=3, models=["cnn-rand", "dssm"]
+                ),
+                SimConfig(seed=3, estimator_mode="oracle", record_decisions=True),
+                **sinks,
+            )
+
+        plain = once()
+        traced = once(tracer=RecordingTracer(), metrics=MetricsRegistry())
+        assert plain.average_jct == traced.average_jct
+        assert plain.makespan == traced.makespan
+        assert plain.decisions == traced.decisions
+        assert {j: r.completion_time for j, r in plain.jobs.items()} == {
+            j: r.completion_time for j, r in traced.jobs.items()
+        }
+        assert plain.phase_timings is None
+        assert traced.phase_timings
+
+    def test_default_run_emits_nothing(self):
+        from repro.obs import NULL_REGISTRY
+        from repro.obs.registry import active_registry
+
+        jobs = uniform_arrivals(
+            num_jobs=1, window=100, seed=1, models=["cnn-rand"]
+        )
+        result = simulate(
+            Cluster.homogeneous(2, cpu_mem(16, 64)),
+            make_scheduler("optimus"),
+            jobs,
+            SimConfig(seed=1, estimator_mode="oracle"),
+        )
+        assert result.phase_timings is None
+        assert active_registry() is NULL_REGISTRY

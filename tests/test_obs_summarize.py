@@ -1,0 +1,101 @@
+"""Tests for repro.obs.summarize: trace reports and timelines."""
+
+from repro.obs import (
+    EVENT_ALLOCATION_DECIDED,
+    EVENT_INTERVAL_TICK,
+    EVENT_JOB_ARRIVED,
+    EVENT_JOB_COMPLETED,
+    JsonlTracer,
+    RecordingTracer,
+)
+from repro.obs.summarize import (
+    decision_timeline,
+    job_timelines,
+    phase_breakdown,
+    summarize_file,
+    summarize_trace,
+)
+
+
+def small_trace():
+    tracer = RecordingTracer()
+    tracer.emit(EVENT_JOB_ARRIVED, 0.0, job_id="j1", model="vgg-16", mode="sync")
+    tracer.emit(EVENT_ALLOCATION_DECIDED, 0.0, job_id="j1", workers=2, ps=1)
+    tracer.emit(
+        EVENT_INTERVAL_TICK,
+        0.0,
+        running_jobs=1,
+        active_jobs=1,
+        pending_jobs=0,
+        phases={"fit": 0.2, "schedule": 0.6},
+    )
+    tracer.emit(EVENT_JOB_COMPLETED, 600.0, job_id="j1", steps=50.0)
+    tracer.emit(
+        EVENT_INTERVAL_TICK,
+        600.0,
+        running_jobs=0,
+        active_jobs=0,
+        pending_jobs=0,
+        phases={"fit": 0.2, "schedule": 0.2},
+    )
+    return tracer.events
+
+
+class TestPhaseBreakdown:
+    def test_aggregates_ticks(self):
+        breakdown = phase_breakdown(small_trace())
+        assert breakdown["fit"]["count"] == 2
+        assert breakdown["fit"]["total"] == 0.4
+        assert breakdown["schedule"]["total"] == 0.8
+        shares = sum(stats["share"] for stats in breakdown.values())
+        assert abs(shares - 1.0) < 1e-9
+
+    def test_empty_trace(self):
+        assert phase_breakdown([]) == {}
+
+
+class TestTimelines:
+    def test_groups_events_by_job(self):
+        timelines = job_timelines(small_trace())
+        assert list(timelines) == ["j1"]
+        assert [e["event"] for e in timelines["j1"]] == [
+            "job_arrived",
+            "allocation_decided",
+            "job_completed",
+        ]
+
+    def test_decision_timeline_renders_lines(self):
+        lines = decision_timeline(small_trace(), "j1")
+        assert len(lines) == 3
+        assert any("arrived" in line for line in lines)
+
+
+class TestSummarize:
+    def test_report_mentions_phases_and_jobs(self):
+        text = summarize_trace(small_trace())
+        assert "fit" in text
+        assert "schedule" in text
+        assert "j1" in text
+
+    def test_long_timelines_truncate(self):
+        tracer = RecordingTracer()
+        tracer.emit(EVENT_JOB_ARRIVED, 0.0, job_id="busy", model="m", mode="sync")
+        for i in range(30):
+            tracer.emit(
+                EVENT_ALLOCATION_DECIDED, i * 600.0, job_id="busy",
+                workers=1 + i % 3, ps=1,
+            )
+        text = summarize_trace(tracer.events, max_events_per_job=6)
+        assert "more" in text
+
+    def test_summarize_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlTracer(path) as tracer:
+            for event in small_trace():
+                fields = {
+                    k: v for k, v in event.items()
+                    if k not in ("seq", "time", "event")
+                }
+                tracer.emit(event["event"], event["time"], **fields)
+        text = summarize_file(path)
+        assert "j1" in text

@@ -5,12 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import ConfigurationError
 from repro.ps.blocks import Assignment, ParameterBlock, ServerLoad, blocks_from_sizes
-from repro.ps.partition import (
-    MXNET_DEFAULT_THRESHOLD,
-    mxnet_partition,
-    paa_partition,
-    partition,
-)
+from repro.ps.partition import mxnet_partition, paa_partition, partition
 from repro.workloads import MODEL_ZOO
 
 

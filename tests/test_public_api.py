@@ -50,6 +50,10 @@ class TestExports:
 
         assert callable(simulate)
         assert callable(make_scheduler)
+        assert callable(cpu_mem)
+        assert callable(uniform_arrivals)
+        assert isinstance(Cluster, type)
+        assert isinstance(SimConfig, type)
 
 
 class TestDocumentation:

@@ -6,18 +6,17 @@ from repro.cluster import Cluster, cpu_mem
 from repro.common.errors import SchedulingError
 from repro.core.allocation import TaskAllocation
 from repro.core.placement import PlacementRequest
-from repro.cluster.resources import ResourceVector
 from repro.schedulers import JobView
 from repro.schedulers.policies import (
     drf_allocation,
-    srtf_allocation,
     fifo_allocation,
     optimus_allocation,
     pack_placement,
     spread_placement,
+    srtf_allocation,
     tetris_allocation,
 )
-from repro.workloads import MODEL_ZOO, StepTimeModel, make_job
+from repro.workloads import StepTimeModel, make_job
 
 
 def view(job_id, model="seq2seq", mode="sync", remaining=50_000, arrival=0.0,

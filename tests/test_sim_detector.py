@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.sim.detector import SpeedMonitor, StragglerVerdict
+from repro.sim.detector import SpeedMonitor
 
 
 class TestAsyncRule:

@@ -3,12 +3,7 @@
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.workloads import (
-    MODEL_ZOO,
-    google_trace_arrivals,
-    poisson_arrivals,
-    uniform_arrivals,
-)
+from repro.workloads import google_trace_arrivals, poisson_arrivals, uniform_arrivals
 from repro.workloads.arrivals import DATASET_DOWNSCALE, STATIC_REQUESTS, THRESHOLD_RANGE
 
 

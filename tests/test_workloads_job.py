@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.common.errors import ConfigurationError
 from repro.cluster.resources import cpu_mem
+from repro.common.errors import ConfigurationError
 from repro.workloads import make_job
 from repro.workloads.job import DEFAULT_PS_DEMAND, DEFAULT_WORKER_DEMAND, JobSpec
 from repro.workloads.profiles import get_profile

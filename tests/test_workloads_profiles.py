@@ -1,6 +1,5 @@
 """Tests for the model zoo and loss-curve ground truth."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

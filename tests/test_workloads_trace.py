@@ -5,8 +5,8 @@ import json
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.common.errors import ConfigurationError
 from repro.cluster.resources import ResourceVector
+from repro.common.errors import ConfigurationError
 from repro.workloads import (
     jobs_from_json,
     jobs_to_json,
