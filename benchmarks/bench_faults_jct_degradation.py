@@ -1,0 +1,88 @@
+"""JCT/utilisation degradation under injected node failures.
+
+Optimus claims fault tolerance (§5.4–§5.5); this bench quantifies what
+faults actually *cost*. For Optimus and a baseline scheduler it sweeps node
+MTBF from "no failures" to "a node dies every couple of hours", with
+checkpoint-bounded restart enabled, and reports
+
+* average JCT at each failure rate (absolute and relative to fault-free),
+* total crash-induced restarts and training steps destroyed,
+* mean cluster utilisation (running tasks per slot).
+
+Expected shape: JCT degrades monotonically (within tolerance -- restarts
+reshuffle the schedule, which occasionally helps a straggling job) as MTBF
+falls, every run still completes, and progress lost per restart stays
+bounded by the checkpoint interval. A scheduler's value shows precisely
+when the cluster misbehaves.
+"""
+
+from __future__ import annotations
+
+from bench_common import paper_workload, report, run_scheduler
+from repro.faults import FaultConfig
+
+SCHEDULERS = ("optimus", "drf")
+#: Node mean-time-between-failures levels: off, rare, frequent (seconds).
+MTBF_LEVELS = (0.0, 40_000.0, 10_000.0)
+#: Progress checkpoint cadence: bounds the steps a crash can destroy.
+CHECKPOINT_INTERVAL = 1_800.0
+SEED = 11
+#: Crashed jobs must finish eventually even under the harshest level.
+MAX_TIME = 14 * 86_400.0
+
+
+def run_grid():
+    """{scheduler: {mtbf: SimulationResult}} over the paper workload."""
+    grid = {}
+    for scheduler in SCHEDULERS:
+        grid[scheduler] = {}
+        for mtbf in MTBF_LEVELS:
+            grid[scheduler][mtbf] = run_scheduler(
+                scheduler,
+                jobs=paper_workload(seed=SEED),
+                seed=SEED,
+                estimator_mode="oracle",
+                max_time=MAX_TIME,
+                faults=FaultConfig(node_mtbf=mtbf),
+                checkpoint_interval=CHECKPOINT_INTERVAL,
+            )
+    return grid
+
+
+def _describe(grid):
+    lines = []
+    for scheduler, by_mtbf in grid.items():
+        base = by_mtbf[MTBF_LEVELS[0]].average_jct
+        for mtbf, result in by_mtbf.items():
+            restarts = sum(r.num_restarts for r in result.jobs.values())
+            steps_lost = sum(r.steps_lost for r in result.jobs.values())
+            tasks = [slot.running_tasks for slot in result.timeline]
+            mean_tasks = sum(tasks) / max(len(tasks), 1)
+            label = "off" if mtbf == 0 else f"{mtbf:.0f}s"
+            lines.append(
+                f"{scheduler:8s} mtbf={label:7s} "
+                f"avg JCT {result.average_jct / 3600:6.2f} h "
+                f"(x{result.average_jct / base:4.2f} vs fault-free)  "
+                f"restarts {restarts:3d}  steps lost {steps_lost:9.0f}  "
+                f"mean tasks {mean_tasks:5.1f}"
+            )
+    return lines
+
+
+def test_faults_jct_degradation(benchmark):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    report("bench_faults_jct_degradation", _describe(grid))
+
+    for scheduler in SCHEDULERS:
+        by_mtbf = grid[scheduler]
+        # Fault-free runs must finish, and the fault-free level must inject
+        # nothing at all.
+        clean = by_mtbf[MTBF_LEVELS[0]]
+        assert clean.all_finished
+        assert sum(r.num_restarts for r in clean.jobs.values()) == 0
+
+        # The harshest failure rate must actually bite (restarts happen)
+        # and must not be *cheaper* than fault-free beyond noise tolerance.
+        harsh = by_mtbf[MTBF_LEVELS[-1]]
+        assert sum(r.num_restarts for r in harsh.jobs.values()) > 0
+        assert harsh.average_jct >= 0.95 * clean.average_jct

@@ -37,6 +37,10 @@ sys.path.insert(0, os.path.join(os.path.dirname(BENCH_DIR), "src"))
 SMOKE_OVERRIDES = {
     "bench_fig12_scalability": {"SCALES": ((50, 10), (100, 25))},
     "bench_fig15_sensitivity_error": {"ERROR_LEVELS": (0.0, 0.3)},
+    "bench_faults_jct_degradation": {
+        "SCHEDULERS": ("optimus",),
+        "MTBF_LEVELS": (0.0, 5_000.0),
+    },
 }
 
 

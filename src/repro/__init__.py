@@ -26,9 +26,20 @@ Package map
   cluster, HDFS-like and Kubernetes-like substrates.
 * :mod:`repro.obs` -- structured observability: event tracing, metrics
   registry and per-phase profiling hooks.
+* :mod:`repro.faults` -- seeded fault injection (node/task crashes, flaky
+  KV substrate, checkpoint loss) and the matching recovery machinery.
 """
 
 from repro.cluster import Cluster, ResourceVector, Server, cpu_mem
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultPlan,
+    FlakyKVStore,
+    NodeCrash,
+    RetryingKVStore,
+    TaskCrash,
+)
 from repro.core import (
     AllocationRequest,
     ConvergenceEstimator,
@@ -101,6 +112,14 @@ __all__ = [
     "RecordingTracer",
     "JsonlTracer",
     "MetricsRegistry",
+    # faults
+    "FaultConfig",
+    "FaultPlan",
+    "NodeCrash",
+    "TaskCrash",
+    "FaultInjector",
+    "FlakyKVStore",
+    "RetryingKVStore",
     # schedulers
     "Scheduler",
     "JobView",

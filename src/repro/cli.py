@@ -133,12 +133,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         background = constant_load(args.background_fraction)
     elif args.background == "diurnal":
         background = diurnal_load(peak=args.background_fraction)
+    from repro.faults import FaultConfig
+
+    faults = FaultConfig(
+        node_mtbf=args.faults_node_mtbf,
+        node_downtime=(args.faults_node_downtime, args.faults_node_downtime)
+        if args.faults_node_downtime > 0
+        else FaultConfig().node_downtime,
+        task_crash_rate=args.faults_task_crash_rate,
+        checkpoint_loss_rate=args.faults_ckpt_loss_rate,
+    )
     config = SimConfig(
         seed=args.seed,
         estimator_mode=args.estimator,
         partition_algorithm=args.partition,
         stragglers=StragglerConfig(rate=args.straggler_rate),
         background_load=background,
+        faults=faults,
+        checkpoint_interval=args.checkpoint_interval
+        if args.checkpoint_interval > 0
+        else None,
     )
     cluster = Cluster.homogeneous(args.servers, cpu_mem(16, 80))
 
@@ -168,21 +182,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 0
 
     summary = result.summary()
-    print(
-        format_table(
-            ["metric", "value"],
-            [
-                ["scheduler", result.scheduler_name],
-                ["jobs finished", f"{int(summary['finished'])}/{int(summary['jobs'])}"],
-                ["average JCT (h)", summary["average_jct"] / 3600],
-                ["makespan (h)", summary["makespan"] / 3600],
-                ["mean running tasks", summary["mean_running_tasks"]],
-                ["worker utilisation", summary["worker_utilization"]],
-                ["ps utilisation", summary["ps_utilization"]],
-                ["scaling overhead", summary["scaling_overhead_fraction"]],
-            ],
-        )
-    )
+    rows = [
+        ["scheduler", result.scheduler_name],
+        ["jobs finished", f"{int(summary['finished'])}/{int(summary['jobs'])}"],
+        ["average JCT (h)", summary["average_jct"] / 3600],
+        ["makespan (h)", summary["makespan"] / 3600],
+        ["mean running tasks", summary["mean_running_tasks"]],
+        ["worker utilisation", summary["worker_utilization"]],
+        ["ps utilisation", summary["ps_utilization"]],
+        ["scaling overhead", summary["scaling_overhead_fraction"]],
+    ]
+    if faults.engine_enabled:
+        restarts = sum(r.num_restarts for r in result.jobs.values())
+        steps_lost = sum(r.steps_lost for r in result.jobs.values())
+        rows.append(["job restarts (faults)", restarts])
+        rows.append(["steps lost to crashes", steps_lost])
+    print(format_table(["metric", "value"], rows))
     if result.phase_timings:
         print("\nper-phase wall-clock profile:")
         print(
@@ -333,6 +348,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--partition", choices=("paa", "mxnet"), default="paa"
     )
     simulate_cmd.add_argument("--straggler-rate", type=float, default=0.0)
+    simulate_cmd.add_argument(
+        "--faults-node-mtbf",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="mean time between node failures (0 = no node crashes)",
+    )
+    simulate_cmd.add_argument(
+        "--faults-node-downtime",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="fixed downtime per node crash (0 = the default 600-1800s range)",
+    )
+    simulate_cmd.add_argument(
+        "--faults-task-crash-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-task per-interval crash probability",
+    )
+    simulate_cmd.add_argument(
+        "--faults-ckpt-loss-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability a restart finds its latest checkpoint corrupted",
+    )
+    simulate_cmd.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="seconds between progress checkpoints, bounding progress lost "
+        "to a crash (0 = checkpoint every scheduling interval)",
+    )
     simulate_cmd.add_argument(
         "--background", choices=("none", "constant", "diurnal"), default="none"
     )

@@ -4,19 +4,24 @@ This package deliberately contains no scheduling logic; it only provides
 
 * :mod:`repro.common.errors` -- the exception hierarchy,
 * :mod:`repro.common.rand` -- seeded random-number plumbing,
+* :mod:`repro.common.retry` -- bounded retry with exponential backoff,
 * :mod:`repro.common.units` -- byte/time unit helpers and formatting.
 """
 
 from repro.common.errors import (
     CapacityError,
     ConfigurationError,
+    FaultInjectionError,
     FittingError,
+    KVStoreError,
     PlacementError,
     ReproError,
     SchedulingError,
     SimulationError,
+    TransientKVError,
 )
 from repro.common.rand import RandomSource, spawn_rng
+from repro.common.retry import RetryPolicy, call_with_retry
 from repro.common.units import (
     GB,
     KB,
@@ -35,8 +40,13 @@ __all__ = [
     "ReproError",
     "SchedulingError",
     "SimulationError",
+    "KVStoreError",
+    "TransientKVError",
+    "FaultInjectionError",
     "RandomSource",
     "spawn_rng",
+    "RetryPolicy",
+    "call_with_retry",
     "KB",
     "MB",
     "GB",

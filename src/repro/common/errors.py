@@ -41,5 +41,18 @@ class KVStoreError(ReproError):
     """An operation on the etcd-like key/value store failed."""
 
 
+class TransientKVError(KVStoreError):
+    """A KV-store/API operation failed transiently and may be retried.
+
+    Raised by the fault-injection substrate (:class:`repro.faults.FlakyKVStore`)
+    and by anything modelling a flaky network hop; callers wrap such
+    operations with :mod:`repro.common.retry`.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or fault configuration is invalid."""
+
+
 class DataStoreError(ReproError):
     """An operation on the HDFS-like chunk store failed."""

@@ -1,0 +1,110 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+The §5.5 substrate (KV store, API server, job controller) must survive
+transient failures: a flaky etcd hop should be retried a bounded number of
+times with exponentially growing delays, and then fail loudly. This module
+is the one retry implementation shared by the whole stack:
+
+* :class:`RetryPolicy` -- the immutable knobs (attempt budget, backoff
+  schedule, jitter fraction);
+* :func:`call_with_retry` -- run a callable under a policy, with hooks for
+  observability (``on_retry`` / ``on_exhausted``) and an injectable
+  ``sleep`` so simulations and tests never actually block.
+
+Jitter is drawn from a caller-provided :class:`numpy.random.Generator`
+(usually a :class:`~repro.common.rand.RandomSource` child), so two runs
+with the same seed back off identically -- randomised retries must not
+break simulation reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, TransientKVError
+
+T = TypeVar("T")
+
+#: Default exception types considered retryable.
+DEFAULT_RETRY_ON: Tuple[Type[BaseException], ...] = (TransientKVError,)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry knobs.
+
+    ``max_attempts`` counts the *total* number of tries, including the
+    first one: a policy with ``max_attempts=4`` retries at most 3 times
+    before giving up. Delays grow as ``base_delay * multiplier**(n-1)``,
+    capped at ``max_delay``, and are perturbed by ``±jitter`` (a fraction)
+    when a generator is supplied.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ConfigurationError("base_delay must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise ConfigurationError("max_delay must be >= base_delay")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    def backoff(
+        self, attempt: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Delay (seconds) after the *attempt*-th failed try (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError("attempt numbers start at 1")
+        delay = min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+        if rng is not None and self.jitter > 0 and delay > 0:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return max(delay, 0.0)
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: Optional[RetryPolicy] = None,
+    retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRY_ON,
+    rng: Optional[np.random.Generator] = None,
+    sleep: Optional[Callable[[float], None]] = None,
+    on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+    on_exhausted: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call *fn* under *policy*, retrying the exceptions in *retry_on*.
+
+    ``sleep`` defaults to ``None`` -- no real waiting, which is what a
+    simulation wants; pass ``time.sleep`` in a live deployment. ``on_retry``
+    fires before each retry with ``(attempt, delay, exc)``; ``on_exhausted``
+    fires once with ``(attempts, exc)`` right before the final exception is
+    re-raised. Non-retryable exceptions propagate immediately.
+    """
+    policy = policy or RetryPolicy()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= policy.max_attempts:
+                if on_exhausted is not None:
+                    on_exhausted(attempt, exc)
+                raise
+            delay = policy.backoff(attempt, rng)
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+            if sleep is not None:
+                sleep(delay)

@@ -36,9 +36,11 @@ from repro.obs.registry import (
 )
 from repro.obs.tracer import (
     EVENT_ALLOCATION_DECIDED,
+    EVENT_CHECKPOINT_MISSING,
     EVENT_INTERVAL_TICK,
     EVENT_JOB_RESCALED,
     EVENT_PLACEMENT_DECIDED,
+    EVENT_RESCALE_ROLLED_BACK,
     NULL_TRACER,
     Tracer,
 )
@@ -167,10 +169,14 @@ class ControlLoop:
                     )
                 )
             with self.profiler.phase("reconcile"):
+                # Graceful degradation: a rescale failing mid-flight rolls
+                # that job back to its previous pods and the loop carries on
+                # with the rest, instead of tearing half the fleet down.
                 report = self.controller.reconcile(
                     targets,
                     job_progress=dict(progress or {}),
                     scope=self._known_jobs | managed,
+                    raise_on_failure=False,
                 )
         if tracer:
             for job_id in report.jobs_scaled:
@@ -181,11 +187,14 @@ class ControlLoop:
                     job_id=job_id,
                     new=[alloc.workers, alloc.ps] if alloc else None,
                 )
+            for job_id in report.jobs_rolled_back:
+                tracer.emit(EVENT_RESCALE_ROLLED_BACK, now, job_id=job_id)
         metrics = self.metrics
         metrics.counter("loop.steps").inc()
         metrics.counter("loop.pods_created").inc(report.pods_created)
         metrics.counter("loop.pods_deleted").inc(report.pods_deleted)
         metrics.counter("loop.jobs_scaled").inc(len(report.jobs_scaled))
+        metrics.counter("loop.rescale_rollbacks").inc(len(report.jobs_rolled_back))
         self._known_jobs = managed
         paused = tuple(
             sorted(job_id for job_id in managed if job_id not in decision.layouts)
@@ -216,12 +225,23 @@ class ControlLoop:
         Kubernetes restarts a failed scheduler pod automatically; job state
         survives in etcd. A recovering loop re-adopts the given jobs (so it
         may manage their pods again) and returns the progress recorded in
-        their checkpoints (missing checkpoints report 0.0 -- the job simply
-        restarts from scratch, which is safe).
+        their checkpoints. A missing checkpoint reports 0.0 -- safe (the
+        job restarts from scratch) but worth an operator's attention, since
+        "fresh job" and "lost checkpoint" look identical from the return
+        value alone: each one is traced as ``checkpoint_missing`` and
+        counted in ``loop.checkpoints_missing``.
         """
         adopted: Dict[str, float] = {}
         for job_id in job_ids:
             checkpoint = self.controller.load_checkpoint(job_id)
+            if checkpoint is None:
+                if self.tracer:
+                    self.tracer.emit(
+                        EVENT_CHECKPOINT_MISSING,
+                        float(self._step_index),
+                        job_id=job_id,
+                    )
+                self.metrics.counter("loop.checkpoints_missing").inc()
             adopted[job_id] = 0.0 if checkpoint is None else checkpoint
             self._known_jobs.add(job_id)
         return adopted

@@ -1,0 +1,38 @@
+"""Seeded fault injection and recovery (§5.4–§5.5 robustness).
+
+Optimus claims fault tolerance through etcd-persisted job state and
+checkpoint-based restarts; this package makes that claim testable. It
+provides:
+
+* :class:`FaultConfig` -- stochastic fault rates (node MTBF, task crash
+  probability, checkpoint loss, KV error rate);
+* :class:`FaultPlan` / :class:`NodeCrash` / :class:`TaskCrash` /
+  :class:`CheckpointLoss` -- scripted, deterministic fault schedules;
+* :class:`FaultInjector` -- turns config + plan + a ``RandomSource`` seed
+  into per-interval fault events for the sim engine (falsy when disabled,
+  like the ``repro.obs`` null objects, so disabled runs are bit-identical
+  to a build without fault code);
+* :class:`FlakyKVStore` / :class:`RetryingKVStore` -- KV-substrate fault
+  injection and the matching retry/backoff recovery wrapper.
+
+See ``docs/fault_tolerance.md`` for the fault model and recovery
+semantics.
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.injector import FaultInjector, IntervalFaults, NodeOutage
+from repro.faults.kv import FlakyKVStore, RetryingKVStore
+from repro.faults.plan import CheckpointLoss, FaultPlan, NodeCrash, TaskCrash
+
+__all__ = [
+    "FaultConfig",
+    "FaultPlan",
+    "NodeCrash",
+    "TaskCrash",
+    "CheckpointLoss",
+    "FaultInjector",
+    "IntervalFaults",
+    "NodeOutage",
+    "FlakyKVStore",
+    "RetryingKVStore",
+]

@@ -1,0 +1,158 @@
+"""Seeded fault injector: turns config + plan into per-interval fault events.
+
+:class:`FaultInjector` mirrors the design of
+:class:`repro.sim.stragglers.StragglerInjector`: it owns a dedicated
+``RandomSource`` child stream so fault draws never perturb the scheduler's
+or straggler injector's randomness, and it is *falsy* when no faults are
+configured so hot paths can guard with ``if injector:`` exactly like the
+``repro.obs`` null objects. Same seed + same config + same call sequence
+=> identical faults, which is what makes chaos runs reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.common.rand import RandomSource
+from repro.faults.config import FaultConfig
+from repro.faults.plan import FaultPlan
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """One node-down episode: *server* is dead from *failed_at* to *up_at*."""
+
+    server: str
+    failed_at: float
+    up_at: float
+
+
+@dataclass(frozen=True)
+class IntervalFaults:
+    """Everything the injector decided for one scheduling interval."""
+
+    failed: Tuple[NodeOutage, ...] = ()
+    recovered: Tuple[str, ...] = ()
+
+
+class FaultInjector:
+    """Draws node/task/checkpoint faults interval by interval.
+
+    Parameters
+    ----------
+    config:
+        Stochastic fault rates; ``None`` means all-zero (nothing random).
+    seed:
+        The simulation's :class:`~repro.common.rand.RandomSource`; the
+        injector uses its ``"faults"`` child so draws are isolated.
+    plan:
+        Optional scripted :class:`~repro.faults.FaultPlan` applied before
+        (and in addition to) any stochastic faults.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FaultConfig] = None,
+        seed: Optional[RandomSource] = None,
+        plan: Optional[FaultPlan] = None,
+    ):
+        self.config = config or FaultConfig()
+        self.plan = plan or FaultPlan()
+        self._rng = (seed or RandomSource(0)).child("faults").rng
+        #: server name -> time its capacity comes back.
+        self._down: Dict[str, float] = {}
+        #: jobs whose latest checkpoint is (scripted to be) corrupted.
+        self._corrupted: Set[str] = set()
+        self._failures_injected = 0
+
+    def __bool__(self) -> bool:
+        return self.config.engine_enabled or bool(self.plan)
+
+    # -- node outages --------------------------------------------------------------
+    @property
+    def down_servers(self) -> Tuple[str, ...]:
+        """Servers currently without capacity, sorted by name."""
+        return tuple(sorted(self._down))
+
+    def _cap_reached(self) -> bool:
+        cap = self.config.max_node_failures
+        return cap is not None and self._failures_injected >= cap
+
+    def begin_interval(
+        self, now: float, interval: float, servers: Iterable[str]
+    ) -> IntervalFaults:
+        """Advance the outage state machine across ``[now, now + interval)``.
+
+        Recoveries are processed first (a node whose downtime expired this
+        interval is back up and may be reused -- or crash again), then
+        scripted crashes, then stochastic crashes drawn per live server in
+        sorted name order so the draw sequence is stable.
+        """
+        names = sorted(servers)
+        recovered = self._pop_recovered(now)
+
+        failed: List[NodeOutage] = []
+        end = now + interval
+        for crash in self.plan.node_crashes_in(now, end):
+            if crash.server in self._down or crash.server not in names:
+                continue
+            outage = NodeOutage(crash.server, crash.time, crash.time + crash.duration)
+            self._down[crash.server] = outage.up_at
+            self._failures_injected += 1
+            failed.append(outage)
+
+        p_fail = self.config.failure_probability(interval)
+        if p_fail > 0:
+            lo, hi = self.config.node_downtime
+            for name in names:
+                if name in self._down:
+                    continue
+                if self._cap_reached():
+                    break
+                if float(self._rng.random()) < p_fail:
+                    downtime = lo if hi <= lo else float(self._rng.uniform(lo, hi))
+                    outage = NodeOutage(name, now, now + max(downtime, interval))
+                    self._down[name] = outage.up_at
+                    self._failures_injected += 1
+                    failed.append(outage)
+
+        for loss in self.plan.checkpoint_losses_in(now, end):
+            self._corrupted.add(loss.job_id)
+
+        return IntervalFaults(failed=tuple(failed), recovered=recovered)
+
+    def _pop_recovered(self, now: float) -> Tuple[str, ...]:
+        due = sorted(s for s, up_at in self._down.items() if up_at <= now)
+        for name in due:
+            del self._down[name]
+        return tuple(due)
+
+    # -- task crashes --------------------------------------------------------------
+    def sample_task_crashes(
+        self, job_id: str, num_tasks: int, now: float, interval: float
+    ) -> int:
+        """How many of *job_id*'s *num_tasks* tasks die this interval."""
+        planned = sum(
+            1
+            for c in self.plan.task_crashes_in(now, now + interval)
+            if c.job_id == job_id
+        )
+        drawn = 0
+        if self.config.task_crash_rate > 0 and num_tasks > 0:
+            drawn = int(self._rng.binomial(num_tasks, self.config.task_crash_rate))
+        return planned + drawn
+
+    # -- checkpoint loss -----------------------------------------------------------
+    def checkpoint_lost(self, job_id: str) -> bool:
+        """Is *job_id*'s latest checkpoint gone? (Consumes a scripted loss.)"""
+        if job_id in self._corrupted:
+            self._corrupted.discard(job_id)
+            return True
+        if self.config.checkpoint_loss_rate > 0:
+            return float(self._rng.random()) < self.config.checkpoint_loss_rate
+        return False
+
+    def note_checkpoint(self, job_id: str) -> None:
+        """A fresh checkpoint for *job_id* supersedes any scripted corruption."""
+        self._corrupted.discard(job_id)

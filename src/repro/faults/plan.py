@@ -1,0 +1,108 @@
+"""Scripted fault schedules.
+
+Stochastic injection (:class:`repro.faults.FaultConfig`) answers "what
+happens under this failure *rate*"; a :class:`FaultPlan` answers "what
+happens when server-3 dies at t=1200 exactly". Plans are deterministic by
+construction -- no RNG involved -- which makes them the tool of choice for
+regression tests and for replaying a failure scenario from a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import FaultInjectionError
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Server *server* loses all capacity at *time* for *duration* seconds."""
+
+    time: float
+    server: str
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultInjectionError("crash time must be non-negative")
+        if self.duration <= 0:
+            raise FaultInjectionError("crash duration must be positive")
+        if not self.server:
+            raise FaultInjectionError("crash needs a server name")
+
+
+@dataclass(frozen=True)
+class TaskCrash:
+    """One task of job *job_id* dies at *time*."""
+
+    time: float
+    job_id: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultInjectionError("crash time must be non-negative")
+        if not self.job_id:
+            raise FaultInjectionError("crash needs a job id")
+
+
+@dataclass(frozen=True)
+class CheckpointLoss:
+    """Job *job_id*'s latest checkpoint is corrupted as of *time*.
+
+    The loss only bites when the job next restarts: a corrupted checkpoint
+    that is overwritten by a newer one before any crash is harmless, which
+    mirrors how real checkpoint corruption is discovered (on restore).
+    """
+
+    time: float
+    job_id: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultInjectionError("loss time must be non-negative")
+        if not self.job_id:
+            raise FaultInjectionError("loss needs a job id")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An explicit, deterministic schedule of faults.
+
+    Combine with a :class:`~repro.faults.FaultConfig` freely: the injector
+    applies planned events first, then layers stochastic ones on top.
+    """
+
+    node_crashes: Tuple[NodeCrash, ...] = ()
+    task_crashes: Tuple[TaskCrash, ...] = ()
+    checkpoint_losses: Tuple[CheckpointLoss, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "node_crashes", tuple(sorted(self.node_crashes, key=lambda c: (c.time, c.server)))
+        )
+        object.__setattr__(
+            self, "task_crashes", tuple(sorted(self.task_crashes, key=lambda c: (c.time, c.job_id)))
+        )
+        object.__setattr__(
+            self,
+            "checkpoint_losses",
+            tuple(sorted(self.checkpoint_losses, key=lambda c: (c.time, c.job_id))),
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.node_crashes or self.task_crashes or self.checkpoint_losses)
+
+    def node_crashes_in(self, start: float, end: float) -> Tuple[NodeCrash, ...]:
+        """Planned node crashes with ``start <= time < end``."""
+        return tuple(c for c in self.node_crashes if start <= c.time < end)
+
+    def task_crashes_in(self, start: float, end: float) -> Tuple[TaskCrash, ...]:
+        """Planned task crashes with ``start <= time < end``."""
+        return tuple(c for c in self.task_crashes if start <= c.time < end)
+
+    def checkpoint_losses_in(
+        self, start: float, end: float
+    ) -> Tuple[CheckpointLoss, ...]:
+        """Planned checkpoint losses with ``start <= time < end``."""
+        return tuple(c for c in self.checkpoint_losses if start <= c.time < end)

@@ -30,13 +30,31 @@ class APIServer:
     """Validated CRUD over nodes and pods, backed by a KVStore."""
 
     def __init__(self, store: Optional[KVStore] = None):
-        self.store = store or KVStore()
+        # `store or KVStore()` would silently drop an *empty* store (KVStore
+        # defines __len__), replacing e.g. a fresh RetryingKVStore wrapper
+        # with an unwrapped one.
+        self.store = store if store is not None else KVStore()
 
     # -- nodes -------------------------------------------------------------------
     def register_node(self, name: str, capacity: ResourceVector) -> NodeInfo:
+        """Register a node; re-registering an identical node is idempotent.
+
+        A node that crashes and comes back re-announces itself with the
+        same name and capacity (the kubelet's normal recovery path); that
+        must not error, and must preserve the existing allocation record.
+        Re-registering with a *different* capacity is a real conflict and
+        still raises.
+        """
         key = NODE_PREFIX + name
-        if key in self.store:
-            raise KVStoreError(f"node {name!r} already registered")
+        payload = self.store.get(key)
+        if payload is not None:
+            node = NodeInfo.from_json(payload)
+            if node.capacity == capacity:
+                return node
+            raise KVStoreError(
+                f"node {name!r} already registered with capacity "
+                f"{node.capacity}, not {capacity}"
+            )
         node = NodeInfo(name=name, capacity=capacity)
         self.store.put(key, node.to_json())
         return node

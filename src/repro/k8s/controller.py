@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.resources import ResourceVector
+from repro.common.errors import KVStoreError
 from repro.k8s.api import APIServer
 from repro.k8s.objects import PodSpec, pod_name
 
@@ -54,6 +55,9 @@ class ReconcileReport:
     #: Progress checkpoints refreshed without a rescale (fault tolerance:
     #: a crashed scheduler recovers at most one interval of progress, §5.5).
     progress_updates: int = 0
+    #: Jobs whose rescale failed mid-flight and were restored to their
+    #: previous pods (graceful degradation; see :meth:`JobController.reconcile`).
+    jobs_rolled_back: Tuple[str, ...] = ()
 
 
 class JobController:
@@ -130,11 +134,43 @@ class JobController:
                 created += 1
         return created
 
+    def _rollback_job(
+        self, job_id: str, previous_pods: List[PodSpec]
+    ) -> bool:
+        """Undo a failed mid-flight rescale: restore the previous pods.
+
+        Tears down whatever the partial launch created, then re-creates and
+        re-binds the pods the job ran with before (their restart counters
+        bumped -- the containers really did restart). Returns ``False`` when
+        even the restore fails; the job is then left fully torn down, which
+        is safe: its checkpoint was saved before the teardown, so a later
+        reconcile relaunches it from there.
+        """
+        self._teardown_job(job_id)
+        try:
+            for pod in previous_pods:
+                self.api.create_pod(
+                    PodSpec(
+                        name=pod.name,
+                        job_id=pod.job_id,
+                        role=pod.role,
+                        index=pod.index,
+                        demand=pod.demand,
+                        restarts=pod.restarts + 1,
+                    )
+                )
+                self.api.bind_pod(pod.name, pod.node)
+        except KVStoreError:
+            self._teardown_job(job_id)
+            return False
+        return True
+
     def reconcile(
         self,
         targets: List[JobTarget],
         job_progress: Optional[Dict[str, float]] = None,
         scope: Optional[set] = None,
+        raise_on_failure: bool = True,
     ) -> ReconcileReport:
         """Drive the cluster to the desired state.
 
@@ -142,6 +178,14 @@ class JobController:
         through the §5.4 checkpoint/teardown/relaunch/restore cycle; jobs
         absent from *targets* (paused or finished) are checkpointed and torn
         down.
+
+        A relaunch that fails mid-flight (a pod that no longer fits, an
+        unknown node) never leaves a job half-torn-down: the job is rolled
+        back to the pods it ran with before and recorded in
+        ``report.jobs_rolled_back``. With ``raise_on_failure=True`` (the
+        default) the original :class:`KVStoreError` is then re-raised --
+        loud by default; the deploy loop passes ``False`` to keep the other
+        jobs reconciling and degrade gracefully.
 
         ``scope`` limits which jobs this controller is allowed to tear
         down: pods of jobs outside the scope (other tenants' workloads, §7
@@ -151,6 +195,7 @@ class JobController:
         job_progress = job_progress or {}
         report = ReconcileReport()
         scaled: List[str] = []
+        rolled_back: List[str] = []
 
         desired = {t.job_id: t for t in targets}
         existing_jobs = {pod.job_id for pod in self.api.list_pods()}
@@ -173,14 +218,30 @@ class JobController:
                     self.save_checkpoint(job_id, job_progress[job_id])
                     report.progress_updates += 1
                 continue
+            previous_pods: List[PodSpec] = []
             if job_id in existing_jobs:
+                previous_pods = [
+                    p for p in self.api.list_pods(job_id=job_id) if p.bound
+                ]
                 self.save_checkpoint(job_id, job_progress.get(job_id, 0.0))
                 report.checkpoints_saved += 1
                 report.pods_deleted += self._teardown_job(job_id)
-            if self.load_checkpoint(job_id) is not None:
+            restored = self.load_checkpoint(job_id) is not None
+            try:
+                created = self._launch_job(target)
+            except KVStoreError:
+                self._rollback_job(job_id, previous_pods)
+                rolled_back.append(job_id)
+                if raise_on_failure:
+                    report.jobs_scaled = tuple(scaled)
+                    report.jobs_rolled_back = tuple(rolled_back)
+                    raise
+                continue
+            if restored:
                 report.checkpoints_restored += 1
-            report.pods_created += self._launch_job(target)
+            report.pods_created += created
             scaled.append(job_id)
 
         report.jobs_scaled = tuple(scaled)
+        report.jobs_rolled_back = tuple(rolled_back)
         return report

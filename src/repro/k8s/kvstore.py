@@ -120,9 +120,25 @@ class KVStore:
         return len(self._watchers) != before
 
     def _notify(self, event: KVEvent) -> None:
-        for _, prefix, callback in list(self._watchers):
+        # Watcher isolation: the mutation is already applied, so one raising
+        # callback must not starve the rest of their notification. Every
+        # matching watcher runs; failures are re-raised (aggregated) after
+        # dispatch so they stay loud without corrupting delivery.
+        failures: List[Tuple[int, BaseException]] = []
+        for watch_id, prefix, callback in list(self._watchers):
             if event.key.startswith(prefix):
-                callback(event)
+                try:
+                    callback(event)
+                except Exception as exc:  # noqa: BLE001 -- isolate any watcher bug
+                    failures.append((watch_id, exc))
+        if failures:
+            detail = "; ".join(
+                f"watch {watch_id}: {exc!r}" for watch_id, exc in failures
+            )
+            raise KVStoreError(
+                f"{len(failures)} watcher callback(s) failed on "
+                f"{event.type} {event.key!r}: {detail}"
+            ) from failures[0][1]
 
     @staticmethod
     def _validate_key(key: str) -> None:

@@ -40,12 +40,20 @@ from repro.obs.summarize import (
 )
 from repro.obs.tracer import (
     EVENT_ALLOCATION_DECIDED,
+    EVENT_CHECKPOINT_MISSING,
     EVENT_INTERVAL_TICK,
     EVENT_JOB_ARRIVED,
     EVENT_JOB_COMPLETED,
     EVENT_JOB_RESCALED,
+    EVENT_JOB_RESTARTED,
+    EVENT_KV_RETRY,
+    EVENT_KV_RETRY_EXHAUSTED,
+    EVENT_NODE_FAILED,
+    EVENT_NODE_RECOVERED,
     EVENT_PLACEMENT_DECIDED,
+    EVENT_RESCALE_ROLLED_BACK,
     EVENT_STRAGGLER_DETECTED,
+    EVENT_TASK_CRASHED,
     EVENT_TYPES,
     NULL_TRACER,
     JsonlTracer,
@@ -71,6 +79,14 @@ __all__ = [
     "EVENT_STRAGGLER_DETECTED",
     "EVENT_JOB_COMPLETED",
     "EVENT_INTERVAL_TICK",
+    "EVENT_NODE_FAILED",
+    "EVENT_NODE_RECOVERED",
+    "EVENT_TASK_CRASHED",
+    "EVENT_JOB_RESTARTED",
+    "EVENT_KV_RETRY",
+    "EVENT_KV_RETRY_EXHAUSTED",
+    "EVENT_RESCALE_ROLLED_BACK",
+    "EVENT_CHECKPOINT_MISSING",
     # registry
     "Counter",
     "Gauge",

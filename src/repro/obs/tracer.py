@@ -37,6 +37,22 @@ EVENT_STRAGGLER_DETECTED = "straggler_detected"
 EVENT_JOB_COMPLETED = "job_completed"
 #: One scheduling interval finished; carries the per-phase timings.
 EVENT_INTERVAL_TICK = "interval_tick"
+#: A server lost all capacity to an injected crash (``repro.faults``).
+EVENT_NODE_FAILED = "node_failed"
+#: A previously failed server's capacity came back.
+EVENT_NODE_RECOVERED = "node_recovered"
+#: One or more of a job's tasks died independently of their node.
+EVENT_TASK_CRASHED = "task_crashed"
+#: A job rolled back to its last checkpoint and pays restart overhead.
+EVENT_JOB_RESTARTED = "job_restarted"
+#: A transient KV-store failure was retried (``repro.common.retry``).
+EVENT_KV_RETRY = "kv_retry"
+#: A KV-store operation exhausted its retry budget and the error escaped.
+EVENT_KV_RETRY_EXHAUSTED = "kv_retry_exhausted"
+#: A mid-flight rescale failed and the job was rolled back to its previous pods.
+EVENT_RESCALE_ROLLED_BACK = "rescale_rolled_back"
+#: Recovery found no checkpoint for a job (fresh job or lost checkpoint).
+EVENT_CHECKPOINT_MISSING = "checkpoint_missing"
 
 #: Every event type a tracer accepts.
 EVENT_TYPES = frozenset(
@@ -48,6 +64,14 @@ EVENT_TYPES = frozenset(
         EVENT_STRAGGLER_DETECTED,
         EVENT_JOB_COMPLETED,
         EVENT_INTERVAL_TICK,
+        EVENT_NODE_FAILED,
+        EVENT_NODE_RECOVERED,
+        EVENT_TASK_CRASHED,
+        EVENT_JOB_RESTARTED,
+        EVENT_KV_RETRY,
+        EVENT_KV_RETRY_EXHAUSTED,
+        EVENT_RESCALE_ROLLED_BACK,
+        EVENT_CHECKPOINT_MISSING,
     }
 )
 

@@ -118,10 +118,15 @@ def _slice_large(
     servers: List[ServerLoad], block: ParameterBlock, avg_size: float
 ) -> None:
     """Slice a block larger than ``avg_size`` into avg-sized partitions."""
-    num_slices = int(math.ceil(block.size / avg_size))
+    # Guard the ceil against float error: size/avg can land epsilon above an
+    # integer (e.g. one block over 7 servers), which would mint an extra,
+    # zero-sized slice -- and ServerLoad rejects non-positive pieces.
+    num_slices = max(int(math.ceil(block.size / avg_size - 1e-9)), 1)
     remaining = block.size
     for i in range(num_slices):
-        piece = min(avg_size, remaining)
+        piece = remaining if i == num_slices - 1 else min(avg_size, remaining)
+        if piece <= 0:
+            break
         remaining -= piece
         target = min(servers, key=lambda s: (s.assigned_size, s.index))
         target.add(f"{block.name}/slice-{i}", piece)

@@ -135,6 +135,8 @@ def result_to_dict(result) -> Dict:
                 "scaling_time": record.scaling_time,
                 "num_scalings": record.num_scalings,
                 "chunks_moved": record.chunks_moved,
+                "num_restarts": record.num_restarts,
+                "steps_lost": record.steps_lost,
             }
             for record in result.jobs.values()
         ],

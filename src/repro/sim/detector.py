@@ -106,19 +106,22 @@ class SpeedMonitor:
         §5.2: "we monitor the arrival time of each worker's gradients on
         parameter servers and calculate the training speed of each worker
         as the gap between the arrival time of two steps". Speed is the
-        reciprocal of the mean inter-arrival gap.
+        reciprocal of the mean positive inter-arrival gap.
+
+        Workers with fewer than two samples, or whose timestamps all
+        coincide (zero gaps -- duplicate reports, clock granularity),
+        simply produce no speed this round instead of a divide-by-zero:
+        a monitor must tolerate whatever the metrics stream delivers.
         """
         speeds: Dict[int, float] = {}
         for worker, times in arrivals.items():
             ordered = sorted(float(t) for t in times)
             if len(ordered) < 2:
                 continue
-            gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+            gaps = [b - a for a, b in zip(ordered, ordered[1:]) if b - a > 0]
+            if not gaps:
+                continue
             mean_gap = sum(gaps) / len(gaps)
-            if mean_gap <= 0:
-                raise ConfigurationError(
-                    f"worker {worker} has non-increasing arrival times"
-                )
             speeds[int(worker)] = 1.0 / mean_gap
         return speeds
 

@@ -35,14 +35,21 @@ from repro.obs.registry import (
     active_registry,
     use_registry,
 )
+from repro.faults.config import FaultConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.obs.tracer import (
     EVENT_ALLOCATION_DECIDED,
     EVENT_INTERVAL_TICK,
     EVENT_JOB_ARRIVED,
     EVENT_JOB_COMPLETED,
     EVENT_JOB_RESCALED,
+    EVENT_JOB_RESTARTED,
+    EVENT_NODE_FAILED,
+    EVENT_NODE_RECOVERED,
     EVENT_PLACEMENT_DECIDED,
     EVENT_STRAGGLER_DETECTED,
+    EVENT_TASK_CRASHED,
     NULL_TRACER,
     Tracer,
 )
@@ -93,6 +100,13 @@ class SimConfig:
     #: Keep a per-interval audit trail of the scheduler's allocations in
     #: ``SimulationResult.decisions`` (handy for tests and debugging).
     record_decisions: bool = False
+    #: Stochastic fault rates (node crashes, task crashes, checkpoint loss);
+    #: the all-zero default injects nothing and leaves results bit-identical
+    #: to a fault-free build.
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Seconds of sim time between progress checkpoints; bounds the progress
+    #: a crash can destroy. ``None`` checkpoints at every interval boundary.
+    checkpoint_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -105,6 +119,8 @@ class SimConfig:
             )
         if self.partition_algorithm not in ("paa", "mxnet"):
             raise SimulationError("partition_algorithm must be 'paa' or 'mxnet'")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise SimulationError("checkpoint_interval must be positive or None")
 
 
 class Simulation:
@@ -118,6 +134,7 @@ class Simulation:
         config: Optional[SimConfig] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if not jobs:
             raise SimulationError("need at least one job")
@@ -132,6 +149,11 @@ class Simulation:
         self._store = ChunkStore(data_nodes=list(cluster.server_names))
         self._injector = StragglerInjector(self.config.stragglers, self._seed)
         self._measure_rng = self._seed.child("interval-speed").rng
+        # Fault injection (repro.faults): falsy when neither stochastic
+        # faults nor a scripted plan are configured, so the default run
+        # pays one bool check per interval and stays bit-identical.
+        self._faults = FaultInjector(self.config.faults, self._seed, plan=fault_plan)
+        self._prev_layouts: Dict[str, dict] = {}
 
         # Observability (repro.obs). Both sinks default to off; with no
         # tracer and no registry the profiler is the shared no-op, so the
@@ -179,6 +201,80 @@ class Simulation:
             demand = server.capacity * fraction
             if not demand.is_zero():
                 server.place(("__background__", "worker", 0), demand)
+
+    # -- fault injection (repro.faults) ------------------------------------------
+    def _process_faults(self, now: float, active: Dict[str, RuntimeJob]) -> None:
+        """Inject this interval's node/task crashes and roll victims back.
+
+        Runs at the interval start, *before* scheduling: a job killed here
+        loses the progress since its last checkpoint, becomes not-running
+        (so it pays the §5.4 restore cost when re-placed) and is then free
+        to be re-allocated around the dead node in the same interval.
+        """
+        cfg = self.config
+        tracer = self.tracer
+        metrics = self.metrics
+        faults = self._faults
+        update = faults.begin_interval(now, cfg.interval, self.cluster.server_names)
+        for name in update.recovered:
+            if tracer:
+                tracer.emit(EVENT_NODE_RECOVERED, now, server=name)
+            metrics.counter("faults.node_recoveries").inc()
+        newly_failed = set()
+        for outage in update.failed:
+            newly_failed.add(outage.server)
+            if tracer:
+                tracer.emit(
+                    EVENT_NODE_FAILED,
+                    now,
+                    server=outage.server,
+                    up_at=outage.up_at,
+                )
+            metrics.counter("faults.node_failures").inc()
+
+        for job_id, job in active.items():
+            if not job.was_running or job.completed:
+                continue
+            cause = None
+            layout = self._prev_layouts.get(job_id)
+            if layout and newly_failed.intersection(layout):
+                cause = "node_failure"
+            else:
+                tasks = job.last_allocation.workers + job.last_allocation.ps
+                crashed = faults.sample_task_crashes(
+                    job_id, tasks, now, cfg.interval
+                )
+                if crashed > 0:
+                    if tracer:
+                        tracer.emit(
+                            EVENT_TASK_CRASHED, now, job_id=job_id, tasks=crashed
+                        )
+                    metrics.counter("faults.task_crashes").inc(crashed)
+                    cause = "task_crash"
+            if cause is None:
+                continue
+            lost_ckpt = faults.checkpoint_lost(job_id)
+            steps_lost, since = job.rollback_to_checkpoint(now, lost=lost_ckpt)
+            if tracer:
+                tracer.emit(
+                    EVENT_JOB_RESTARTED,
+                    now,
+                    job_id=job_id,
+                    cause=cause,
+                    steps_lost=steps_lost,
+                    since_checkpoint=since,
+                    checkpoint_lost=lost_ckpt,
+                )
+            metrics.counter("faults.job_restarts").inc()
+            metrics.counter("faults.steps_lost").inc(steps_lost)
+
+    def _block_down_servers(self, work_cluster: Cluster) -> None:
+        """Zero out the schedulable capacity of currently-dead servers."""
+        for name in self._faults.down_servers:
+            server = work_cluster.server(name)
+            remaining = server.available
+            if not remaining.is_zero():
+                server.place(("__faulted__", "worker", 0), remaining)
 
     # -- NIC contention ---------------------------------------------------------
     def _nic_shares(self, layouts: Dict[str, dict]) -> Dict[str, float]:
@@ -358,11 +454,16 @@ class Simulation:
                 now = math.ceil(next_arrival / cfg.interval) * cfg.interval
                 continue
 
+            if self._faults:
+                self._process_faults(now, active)
+
             with profiler.phase("fit"):
                 views = [job.view() for job in active.values()]
             with profiler.phase("snapshot"):
                 work_cluster = self.cluster.snapshot()
                 self._reserve_background(work_cluster, now)
+                if self._faults:
+                    self._block_down_servers(work_cluster)
             # The scheduler itself times its "allocate" and "place"
             # sub-phases through the shared profiler (see CompositeScheduler).
             with profiler.phase("schedule"):
@@ -397,6 +498,22 @@ class Simulation:
                     self._run_job_interval(
                         job, allocation, layout, now, nic_shares
                     )
+
+            if self._faults:
+                # Snapshot surviving jobs' progress at the interval end;
+                # ``checkpoint_interval`` throttles how often, bounding the
+                # progress a later crash can destroy.
+                boundary = now + cfg.interval
+                for job_id, job in active.items():
+                    if job.completed or not job.was_running:
+                        continue
+                    if job.checkpoint_due(boundary, cfg.checkpoint_interval):
+                        job.record_checkpoint(boundary)
+                        self._faults.note_checkpoint(job_id)
+                self._prev_layouts = {
+                    job_id: dict(layout)
+                    for job_id, layout in decision.layouts.items()
+                }
 
             timeline.append(self._slot(now, active, dict(decision.allocations)))
             if cfg.record_decisions:
@@ -440,6 +557,8 @@ class Simulation:
                 scaling_time=job.scaling_time_total,
                 num_scalings=job.num_scalings,
                 chunks_moved=job.chunks_moved,
+                num_restarts=job.num_restarts,
+                steps_lost=job.steps_lost_total,
             )
             for job_id, job in done.items()
         }
@@ -475,12 +594,21 @@ def simulate(
     config: Optional[SimConfig] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Convenience one-shot wrapper around :class:`Simulation`.
 
     ``tracer`` and ``metrics`` attach the :mod:`repro.obs` sinks; both
     default to off (the null tracer / the currently installed registry).
+    ``fault_plan`` scripts deterministic faults on top of
+    ``config.faults`` (see :mod:`repro.faults`).
     """
     return Simulation(
-        cluster, scheduler, jobs, config, tracer=tracer, metrics=metrics
+        cluster,
+        scheduler,
+        jobs,
+        config,
+        tracer=tracer,
+        metrics=metrics,
+        fault_plan=fault_plan,
     ).run()

@@ -29,6 +29,10 @@ class JobRecord:
     scaling_time: float
     num_scalings: int
     chunks_moved: int
+    #: Fault-injection accounting (zero in fault-free runs): crash-induced
+    #: restarts and the raw training steps those crashes destroyed.
+    num_restarts: int = 0
+    steps_lost: float = 0.0
 
     @property
     def finished(self) -> bool:

@@ -123,6 +123,16 @@ class RuntimeJob:
         self.scaling_time_total = 0.0
         self.num_scalings = 0
 
+        # Fault recovery (checkpoint-bounded restart). The "checkpoint" is
+        # the progress snapshot a crash rolls back to; refreshed by the
+        # engine every ``checkpoint_interval`` seconds of sim time.
+        self.checkpoint_steps = 0.0
+        self.checkpoint_effective = 0.0
+        self.last_checkpoint_time = float(spec.arrival_time)
+        self._prev_checkpoint = (0.0, 0.0, float(spec.arrival_time))
+        self.num_restarts = 0
+        self.steps_lost_total = 0.0
+
         # Observed-convergence state (§2.1): the running system stops the
         # job when the *observed* per-epoch training-loss decrease stays
         # below the owner threshold for `patience` epochs. Epoch losses are
@@ -360,6 +370,54 @@ class RuntimeJob:
                 self.spec.profile.model_size_bytes
             ),
         )
+
+    # -- fault recovery (checkpoint-bounded restart) -------------------------
+    def checkpoint_due(self, now: float, interval: Optional[float]) -> bool:
+        """Should the engine snapshot this job's progress at time *now*?
+
+        ``interval=None`` (or ``<= 0``) means "checkpoint at every interval
+        boundary" -- the tightest bound on progress lost.
+        """
+        if interval is None or interval <= 0:
+            return True
+        return now - self.last_checkpoint_time >= interval
+
+    def record_checkpoint(self, now: float) -> None:
+        """Snapshot current progress as the crash-recovery point."""
+        self._prev_checkpoint = (
+            self.checkpoint_steps,
+            self.checkpoint_effective,
+            self.last_checkpoint_time,
+        )
+        self.checkpoint_steps = self.steps_done
+        self.checkpoint_effective = self.effective_steps
+        self.last_checkpoint_time = float(now)
+
+    def rollback_to_checkpoint(self, now: float, lost: bool = False):
+        """Crash recovery: drop progress back to the last checkpoint.
+
+        With ``lost=True`` the latest checkpoint is corrupted and the job
+        falls back to the previous one (possibly zero progress). The job
+        keeps its estimator state -- the owner's training framework lost
+        steps, not the scheduler's telemetry. Returns ``(steps_lost,
+        seconds_since_checkpoint)``.
+        """
+        if lost:
+            (
+                self.checkpoint_steps,
+                self.checkpoint_effective,
+                self.last_checkpoint_time,
+            ) = self._prev_checkpoint
+        steps_lost = max(self.steps_done - self.checkpoint_steps, 0.0)
+        since = max(float(now) - self.last_checkpoint_time, 0.0)
+        self.steps_done = self.checkpoint_steps
+        self.effective_steps = self.checkpoint_effective
+        # Not running any more: the next allocation pays the §5.4 restore
+        # cost through :meth:`scaling_overhead`.
+        self.was_running = False
+        self.num_restarts += 1
+        self.steps_lost_total += steps_lost
+        return steps_lost, since
 
     # -- scaling cost --------------------------------------------------------
     def scaling_overhead(self, new_allocation: TaskAllocation) -> float:

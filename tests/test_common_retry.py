@@ -1,0 +1,133 @@
+"""Tests for the bounded retry/backoff helper (repro.common.retry)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, KVStoreError, TransientKVError
+from repro.common.rand import RandomSource
+from repro.common.retry import RetryPolicy, call_with_retry
+
+
+class Flaky:
+    """Fails the first *failures* calls with TransientKVError, then succeeds."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise TransientKVError(f"boom #{self.calls}")
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=100.0, jitter=0.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(4) == pytest.approx(0.8)
+
+    def test_backoff_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=10.0, max_delay=0.5, jitter=0.0)
+        assert policy.backoff(5) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff(i, RandomSource(3).child("j").rng) for i in (1, 2, 3)]
+        b = [policy.backoff(i, RandomSource(3).child("j").rng) for i in (1, 2, 3)]
+        assert a == b
+        # And jitter actually perturbs the nominal delay.
+        nominal = [policy.backoff(i) for i in (1, 2, 3)]
+        assert a != nominal
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.1)
+        rng = RandomSource(0).child("j").rng
+        for _ in range(100):
+            delay = policy.backoff(1, rng)
+            assert 0.9 <= delay <= 1.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_delay=0.01, base_delay=0.05)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().backoff(0)
+
+
+class TestCallWithRetry:
+    def test_success_needs_no_retry(self):
+        fn = Flaky(0)
+        assert call_with_retry(fn) == "ok"
+        assert fn.calls == 1
+
+    def test_transient_errors_below_budget_invisible(self):
+        fn = Flaky(3)
+        assert call_with_retry(fn, policy=RetryPolicy(max_attempts=4)) == "ok"
+        assert fn.calls == 4
+
+    def test_exhaustion_raises_after_exact_attempts(self):
+        fn = Flaky(100)
+        with pytest.raises(TransientKVError):
+            call_with_retry(fn, policy=RetryPolicy(max_attempts=4))
+        assert fn.calls == 4  # documented budget: total tries, first included
+
+    def test_exhaustion_error_is_a_kvstore_error(self):
+        # Callers catching KVStoreError see the failure even if they do not
+        # know about the transient subclass.
+        with pytest.raises(KVStoreError):
+            call_with_retry(Flaky(10), policy=RetryPolicy(max_attempts=2))
+
+    def test_non_retryable_error_propagates_immediately(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise KVStoreError("permanent")
+
+        with pytest.raises(KVStoreError):
+            call_with_retry(fn, policy=RetryPolicy(max_attempts=5))
+        assert len(calls) == 1
+
+    def test_callbacks_and_sleep(self):
+        retries = []
+        exhausted = []
+        slept = []
+        with pytest.raises(TransientKVError):
+            call_with_retry(
+                Flaky(10),
+                policy=RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0),
+                sleep=slept.append,
+                on_retry=lambda attempt, delay, exc: retries.append((attempt, delay)),
+                on_exhausted=lambda attempts, exc: exhausted.append(attempts),
+            )
+        assert retries == [(1, 0.5), (2, 1.0)]
+        assert slept == [0.5, 1.0]
+        assert exhausted == [3]
+
+    def test_custom_retry_on(self):
+        def fn():
+            raise ValueError("flaky-ish")
+
+        with pytest.raises(ValueError):
+            call_with_retry(fn, policy=RetryPolicy(max_attempts=2))
+        # Declared retryable: consumed the budget instead of failing fast.
+        calls = []
+
+        def fn2():
+            calls.append(1)
+            raise ValueError("flaky-ish")
+
+        with pytest.raises(ValueError):
+            call_with_retry(
+                fn2, policy=RetryPolicy(max_attempts=3), retry_on=(ValueError,)
+            )
+        assert len(calls) == 3

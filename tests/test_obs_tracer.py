@@ -20,7 +20,7 @@ from repro.obs import (
 
 
 class TestEventSchema:
-    def test_all_seven_event_types_declared(self):
+    def test_all_event_types_declared(self):
         assert EVENT_TYPES == {
             "job_arrived",
             "allocation_decided",
@@ -29,6 +29,15 @@ class TestEventSchema:
             "straggler_detected",
             "job_completed",
             "interval_tick",
+            # fault injection & recovery
+            "node_failed",
+            "node_recovered",
+            "task_crashed",
+            "job_restarted",
+            "kv_retry",
+            "kv_retry_exhausted",
+            "rescale_rolled_back",
+            "checkpoint_missing",
         }
 
     def test_emit_builds_typed_payload(self):

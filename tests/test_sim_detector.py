@@ -88,9 +88,17 @@ class TestSyncArrivalRule:
         speeds = SpeedMonitor.speeds_from_arrivals({0: [1.0]})
         assert speeds == {}
 
-    def test_non_increasing_rejected(self):
-        with pytest.raises(ConfigurationError):
-            SpeedMonitor.speeds_from_arrivals({0: [2.0, 2.0]})
+    def test_all_equal_arrival_times_skipped(self):
+        # Duplicate timestamps (clock granularity, repeated reports) must
+        # not divide by zero; the worker just reports no speed this round.
+        assert SpeedMonitor.speeds_from_arrivals({0: [2.0, 2.0]}) == {}
+        assert SpeedMonitor.speeds_from_arrivals({0: [2.0, 2.0, 2.0]}) == {}
+
+    def test_zero_gaps_ignored_among_real_gaps(self):
+        # A duplicated timestamp inside an otherwise increasing series only
+        # drops the zero gap, not the worker.
+        speeds = SpeedMonitor.speeds_from_arrivals({0: [0.0, 2.0, 2.0, 4.0]})
+        assert speeds[0] == pytest.approx(0.5)
 
     def test_end_to_end_sync_detection(self):
         """A worker whose gradients arrive 3x slower is flagged."""
@@ -103,6 +111,52 @@ class TestSyncArrivalRule:
         }
         verdict = monitor.evaluate_arrivals(arrivals)
         assert verdict.stragglers == (3,)
+
+
+class TestEdgeCases:
+    """Degenerate inputs a live metrics stream will eventually produce."""
+
+    def test_single_worker_job_never_flagged(self):
+        monitor = SpeedMonitor()
+        verdict = monitor.evaluate_speeds({0: 0.001})
+        assert verdict.stragglers == ()
+        assert verdict.median_speed == 0.0
+
+    def test_single_worker_arrivals_never_flagged(self):
+        monitor = SpeedMonitor()
+        verdict = monitor.evaluate_arrivals({0: [0.0, 10.0, 20.0]})
+        assert verdict.stragglers == ()
+
+    def test_all_equal_speeds_no_stragglers(self):
+        monitor = SpeedMonitor()
+        verdict = monitor.evaluate_speeds({i: 1.0 for i in range(8)})
+        assert verdict.stragglers == ()
+        assert verdict.median_speed == pytest.approx(1.0)
+
+    def test_all_zero_speeds_no_divide_by_zero(self):
+        # Median 0 makes the threshold 0; nothing is "below half of zero".
+        monitor = SpeedMonitor()
+        verdict = monitor.evaluate_speeds({i: 0.0 for i in range(4)})
+        assert verdict.stragglers == ()
+
+    def test_all_equal_arrival_gaps_no_stragglers(self):
+        monitor = SpeedMonitor()
+        arrivals = {w: [w * 0.1 + 2.0 * i for i in range(4)] for w in range(5)}
+        verdict = monitor.evaluate_arrivals(arrivals)
+        assert verdict.stragglers == ()
+
+    def test_workers_with_degenerate_arrivals_drop_below_min(self):
+        # Two of four workers report unusable timestamps; the remaining two
+        # are below min_workers, so nothing is flagged.
+        monitor = SpeedMonitor(min_workers=3)
+        arrivals = {
+            0: [0.0, 2.0, 4.0],
+            1: [0.0, 6.0, 12.0],
+            2: [5.0, 5.0, 5.0],  # all-equal timestamps
+            3: [7.0],  # single sample
+        }
+        verdict = monitor.evaluate_arrivals(arrivals)
+        assert verdict.stragglers == ()
 
 
 class TestValidation:
