@@ -228,6 +228,164 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_drill(args: argparse.Namespace) -> int:
+    """Run a crash-consistency drill against the deployment control plane.
+
+    Deploys a few jobs through the real ControlLoop/APIServer/KVStore
+    stack, then injects the requested disaster -- a controller death at a
+    named crash point, and/or a node whose heartbeats stop -- recovers
+    from the store alone, and checks the §5.5 invariants: convergence to
+    the desired layouts, no orphaned pods, node capacity consistent with
+    bound pods, and per-job progress loss bounded by one interval.
+    """
+    from repro.common.errors import ControllerCrashed
+    from repro.deploy import ControlLoop
+    from repro.faults import ControllerCrash, CrashPointInjector
+    from repro.k8s import APIServer
+    from repro.obs import MetricsRegistry, RecordingTracer
+    from repro.schedulers import JobView, make_scheduler
+    from repro.workloads import StepTimeModel, make_job
+
+    models = sorted(MODEL_ZOO)
+    specs = [
+        make_job(
+            models[(i + args.seed) % len(models)], mode="sync", job_id=f"job-{i}"
+        )
+        for i in range(args.jobs)
+    ]
+    truths = {s.job_id: StepTimeModel(s.profile, "sync") for s in specs}
+    progress = {s.job_id: 0.0 for s in specs}
+
+    def views():
+        return [
+            JobView(
+                spec=spec,
+                remaining_steps=max(50_000.0 - progress[spec.job_id], 1_000.0),
+                speed=lambda p, w, t=truths[spec.job_id]: t.speed(p, w),
+                observation_count=100,
+            )
+            for spec in specs
+        ]
+
+    api = APIServer()
+    ttl = args.lease_ttl if args.lease_ttl > 0 else None
+    node_names = [f"n{i}" for i in range(args.servers)]
+    for name in node_names:
+        api.register_node(name, cpu_mem(16, 64), lease_ttl=ttl, now=0.0)
+
+    injector = None
+    if args.crash_point:
+        injector = CrashPointInjector([ControllerCrash(args.crash_point)])
+    tracer = RecordingTracer()
+    metrics = MetricsRegistry()
+    loop = ControlLoop(
+        api,
+        make_scheduler(args.scheduler),
+        tracer=tracer,
+        metrics=metrics,
+        crash_points=injector,
+    )
+    dead_node = (
+        node_names[args.expire_node]
+        if 0 <= args.expire_node < len(node_names)
+        else None
+    )
+
+    crashes = 0
+    recoveries = 0
+    checkpoint_at_crash: dict = {}
+    for _ in range(args.steps):
+        now = float(loop.step_index)
+        if ttl is not None:
+            for name in node_names:
+                if name == dead_node and now >= 1:
+                    continue  # the "dead" kubelet goes silent after step 0
+                if not api.node(name).cordoned:
+                    loop.heartbeat(name, now)
+        try:
+            loop.step(views(), progress=dict(progress))
+        except ControllerCrashed as exc:
+            crashes += 1
+            checkpoint_at_crash = dict(progress)
+            print(f"[drill] {exc}", file=sys.stderr)
+            loop = ControlLoop(
+                api,
+                make_scheduler(args.scheduler),
+                tracer=tracer,
+                metrics=metrics,
+                start_step=loop.step_index,
+            )
+            recovered = loop.recover()
+            recoveries += 1
+            for job_id, steps in recovered.items():
+                progress[job_id] = max(progress.get(job_id, 0.0), steps)
+            loop.step(views(), progress=dict(progress))
+        for spec in specs:
+            progress[spec.job_id] += 250.0
+
+    # -- invariants --------------------------------------------------------------
+    failures = []
+    pods = api.list_pods()
+    known_jobs = {s.job_id for s in specs}
+    orphans = [p.name for p in pods if p.job_id not in known_jobs]
+    if orphans:
+        failures.append(f"orphaned pods: {orphans}")
+    for node in api.list_nodes():
+        bound = sum(
+            (p.demand for p in pods if p.node == node.name),
+            start=cpu_mem(0, 0),
+        )
+        if dict(node.allocated.items()) != dict(bound.items()):
+            failures.append(
+                f"node {node.name}: allocated {node.allocated} != bound {bound}"
+            )
+    if dead_node is not None and ttl is not None:
+        if not api.node(dead_node).cordoned:
+            failures.append(f"dead node {dead_node} was never cordoned")
+        on_dead = [p.name for p in pods if p.node == dead_node]
+        if on_dead:
+            failures.append(f"pods still on dead node: {on_dead}")
+    if crashes:
+        for job_id, at_crash in checkpoint_at_crash.items():
+            saved = loop.controller.load_checkpoint(job_id)
+            if saved is not None and at_crash - saved > 250.0:
+                failures.append(
+                    f"{job_id}: lost {at_crash - saved:.0f} steps (> 1 interval)"
+                )
+
+    counters = metrics.snapshot()["counters"]
+    rows = [
+        ["steps run", args.steps],
+        ["controller crashes injected", crashes],
+        ["recoveries", recoveries],
+        ["intents replayed", int(counters.get("loop.intents_replayed", 0))],
+        ["nodes cordoned", int(counters.get("loop.nodes_cordoned", 0))],
+        ["lease renewals", int(counters.get("lease.renewals", 0))],
+        ["pods running", len(pods)],
+        ["invariants", "FAIL" if failures else "ok"],
+    ]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "summary": {str(k): v for k, v in rows},
+                    "failures": failures,
+                    "checkpoints": {
+                        s.job_id: loop.controller.load_checkpoint(s.job_id)
+                        for s in specs
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(format_table(["metric", "value"], rows))
+        for failure in failures:
+            print(f"INVARIANT VIOLATED: {failure}")
+    return 1 if failures else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import summarize_file
 
@@ -441,6 +599,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--estimator", choices=("online", "oracle", "noisy"), default="online"
     )
     compare.set_defaults(func=_cmd_compare)
+
+    drill = sub.add_parser(
+        "drill",
+        help="crash-consistency drill: kill the controller, expire a node, recover",
+    )
+    drill.add_argument("--scheduler", default="optimus")
+    drill.add_argument("--jobs", type=int, default=3)
+    drill.add_argument("--servers", type=int, default=4)
+    drill.add_argument("--steps", type=int, default=6)
+    drill.add_argument("--seed", type=int, default=0)
+    drill.add_argument(
+        "--crash-point",
+        choices=("after_checkpoint", "after_teardown", "mid_launch", "after_launch"),
+        default=None,
+        help="kill the controller once at this reconcile crash point",
+    )
+    drill.add_argument(
+        "--expire-node",
+        type=int,
+        default=-1,
+        help="index of a node whose heartbeats stop after the first step",
+    )
+    drill.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=2.0,
+        help="node health lease TTL in steps (<= 0 disables leases)",
+    )
+    drill.add_argument("--json", action="store_true")
+    drill.set_defaults(func=_cmd_drill)
 
     return parser
 

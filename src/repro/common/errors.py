@@ -54,5 +54,16 @@ class FaultInjectionError(ReproError):
     """A fault plan or fault configuration is invalid."""
 
 
+class ControllerCrashed(ReproError):
+    """The scheduler process "died" at an injected controller crash point.
+
+    Raised by :class:`repro.faults.CrashPointInjector` inside
+    :meth:`repro.k8s.controller.JobController.reconcile` to simulate the
+    pod being killed mid-cycle. Deliberately *not* a :class:`KVStoreError`:
+    nothing in the control plane may catch and absorb it -- a dead process
+    does not degrade gracefully, it restarts and recovers from the store.
+    """
+
+
 class DataStoreError(ReproError):
     """An operation on the HDFS-like chunk store failed."""

@@ -15,6 +15,15 @@ The loop is deliberately passive about *training state*: callers supply the
 :class:`~repro.schedulers.base.JobView` list and per-job progress, which in
 a real deployment come from the framework's metrics stream (and in this
 repository from :mod:`repro.sim`).
+
+Crash consistency (§5.5): the loop's own state -- which jobs it manages --
+is persisted through the controller's durable managed set, and every
+rescale is write-ahead logged as an intent, so :meth:`ControlLoop.recover`
+rebuilds everything from the store alone after a scheduler restart and
+replays whatever cycle was in flight when the previous incarnation died.
+Node health rides on KV leases: heartbeating nodes that go silent are
+cordoned by the per-step sweep, their pods marked lost, and their jobs
+relaunched from checkpoint on live nodes the same interval.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 from repro.cluster.cluster import Cluster
 from repro.cluster.server import Server
 from repro.common.errors import SchedulingError
+from repro.faults.crashpoints import CrashPointInjector
 from repro.k8s.api import APIServer
 from repro.k8s.controller import JobController, JobTarget, ReconcileReport
 from repro.obs.registry import (
@@ -37,8 +47,11 @@ from repro.obs.registry import (
 from repro.obs.tracer import (
     EVENT_ALLOCATION_DECIDED,
     EVENT_CHECKPOINT_MISSING,
+    EVENT_INTENT_REPLAYED,
     EVENT_INTERVAL_TICK,
     EVENT_JOB_RESCALED,
+    EVENT_NODE_CORDONED,
+    EVENT_NODE_LEASE_RENEWED,
     EVENT_PLACEMENT_DECIDED,
     EVENT_RESCALE_ROLLED_BACK,
     NULL_TRACER,
@@ -54,16 +67,18 @@ def cluster_from_api(
 
     Managed jobs' pods are *excluded* (the controller re-places them every
     interval, §5.4); any other bound pods -- other tenants, system daemons
-    -- are carried over as occupied capacity.
+    -- are carried over as occupied capacity. Cordoned nodes are excluded
+    entirely: a dead machine must not pin capacity or attract placements.
     """
-    nodes = api.list_nodes()
+    nodes = api.list_nodes(include_cordoned=False)
     if not nodes:
-        raise SchedulingError("the API server has no registered nodes")
+        raise SchedulingError("the API server has no registered live nodes")
+    live = {node.name for node in nodes}
     servers = [Server(node.name, node.capacity) for node in nodes]
     cluster = Cluster(servers)
     managed = managed_jobs or set()
     for pod in api.list_pods():
-        if pod.node is None or pod.job_id in managed:
+        if pod.node is None or pod.node not in live or pod.job_id in managed:
             continue
         cluster.place(pod.node, (pod.job_id, pod.role, pod.index), pod.demand)
     return cluster
@@ -89,10 +104,14 @@ class ControlLoop:
         controller: Optional[JobController] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        crash_points: Optional[CrashPointInjector] = None,
+        start_step: int = 0,
     ):
         self.api = api
         self.scheduler = scheduler
-        self.controller = controller or JobController(api)
+        self.controller = controller or JobController(
+            api, crash_points=crash_points
+        )
         #: Jobs this loop has ever managed and may therefore tear down;
         #: other tenants' pods are off-limits (§7 "Various workloads").
         self._known_jobs: set = set()
@@ -108,7 +127,14 @@ class ControlLoop:
         self.scheduler.instrument(
             tracer=self.tracer, metrics=self.metrics, profiler=self.profiler
         )
-        self._step_index = 0
+        # A recovered loop passes the dead predecessor's step index so the
+        # shared clock (trace times, lease expiry) stays monotonic.
+        self._step_index = int(start_step)
+
+    @property
+    def step_index(self) -> int:
+        """The 0-based index of the next scheduling interval."""
+        return self._step_index
 
     def step(
         self,
@@ -130,6 +156,13 @@ class ControlLoop:
         self.profiler.begin_interval()
         managed = {view.job_id for view in views}
         with use_registry(self.metrics):
+            with self.profiler.phase("sweep"):
+                self.sweep_node_leases(now)
+            # Write-ahead: the store knows the loop owns these jobs
+            # *before* any of their pods are touched, so a crash mid-pass
+            # cannot orphan a half-managed job.
+            for job_id in sorted(managed - self._known_jobs):
+                self.controller.adopt_job(job_id)
             with self.profiler.phase("snapshot"):
                 cluster = cluster_from_api(self.api, managed_jobs=managed)
             with self.profiler.phase("schedule"):
@@ -195,7 +228,17 @@ class ControlLoop:
         metrics.counter("loop.pods_deleted").inc(report.pods_deleted)
         metrics.counter("loop.jobs_scaled").inc(len(report.jobs_scaled))
         metrics.counter("loop.rescale_rollbacks").inc(len(report.jobs_rolled_back))
-        self._known_jobs = managed
+        metrics.counter("loop.reconcile_failures").inc(len(report.jobs_failed))
+        # Jobs whose teardown failed stay owned (and durably recorded) so
+        # the next pass retries; everything else that left the view is
+        # released from the durable managed set (idempotent: reconcile
+        # already dropped the keys of the jobs it tore down).
+        failed = set(report.jobs_failed)
+        for job_id in sorted(self._known_jobs - managed - failed):
+            self.controller.release_job(job_id)
+        self._known_jobs = managed | (
+            (self._known_jobs - managed) & failed
+        )
         paused = tuple(
             sorted(job_id for job_id in managed if job_id not in decision.layouts)
         )
@@ -211,34 +254,107 @@ class ControlLoop:
         self._step_index += 1
         return StepReport(decision=decision, reconcile=report, paused=paused)
 
+    # -- node health --------------------------------------------------------------
+    def heartbeat(self, node_name: str, now: Optional[float] = None) -> None:
+        """Forward a node's liveness ping (the kubelet status update).
+
+        Renews the node's KV lease and emits ``node_lease_renewed`` /
+        ``lease.renewals``. Only meaningful for nodes registered with a
+        ``lease_ttl``; see :meth:`APIServer.heartbeat_node` for the error
+        contract.
+        """
+        now = float(self._step_index) if now is None else now
+        self.api.heartbeat_node(node_name, now)
+        if self.tracer:
+            self.tracer.emit(EVENT_NODE_LEASE_RENEWED, now, server=node_name)
+        self.metrics.counter("lease.renewals").inc()
+
+    def sweep_node_leases(self, now: Optional[float] = None) -> Tuple[str, ...]:
+        """Cordon nodes whose health lease lapsed (runs inside every step).
+
+        Newly cordoned nodes vanish from the scheduling snapshot, their
+        pods are marked lost, and the same step's reconcile relaunches the
+        affected jobs from checkpoint on live nodes -- a dead machine costs
+        at most one scheduling interval of progress. Emits
+        ``node_cordoned`` and bumps ``lease.expirations`` /
+        ``loop.nodes_cordoned`` per node. A cluster with no leases
+        configured sweeps nothing and mutates nothing.
+        """
+        now = float(self._step_index) if now is None else now
+        cordoned = tuple(self.api.sweep_expired(now))
+        for name in cordoned:
+            if self.tracer:
+                self.tracer.emit(EVENT_NODE_CORDONED, now, server=name)
+            self.metrics.counter("lease.expirations").inc()
+            self.metrics.counter("loop.nodes_cordoned").inc()
+        return cordoned
+
+    # -- shutdown & crash recovery ------------------------------------------------
     def drain(self, progress: Optional[Mapping[str, float]] = None) -> ReconcileReport:
-        """Tear the loop's jobs down (checkpointing state), e.g. at shutdown."""
+        """Tear the loop's jobs down (checkpointing state), e.g. at shutdown.
+
+        Degrades gracefully like :meth:`step`: one job's KV failure does
+        not abort the drain for the rest. Jobs that could not be torn down
+        stay owned (``report.jobs_failed``) so a retried drain -- or a
+        recovered successor -- can finish the work.
+        """
         report = self.controller.reconcile(
-            [], job_progress=dict(progress or {}), scope=self._known_jobs
+            [],
+            job_progress=dict(progress or {}),
+            scope=self._known_jobs,
+            raise_on_failure=False,
         )
-        self._known_jobs = set()
+        self._known_jobs = set(report.jobs_failed)
         return report
 
-    def recover(self, job_ids: Sequence[str]) -> Dict[str, float]:
+    def recover(
+        self, job_ids: Optional[Sequence[str]] = None
+    ) -> Dict[str, float]:
         """Rebuild state after a scheduler restart (§5.5 fault tolerance).
 
         Kubernetes restarts a failed scheduler pod automatically; job state
-        survives in etcd. A recovering loop re-adopts the given jobs (so it
-        may manage their pods again) and returns the progress recorded in
-        their checkpoints. A missing checkpoint reports 0.0 -- safe (the
-        job restarts from scratch) but worth an operator's attention, since
-        "fresh job" and "lost checkpoint" look identical from the return
-        value alone: each one is traced as ``checkpoint_missing`` and
-        counted in ``loop.checkpoints_missing``.
+        survives in etcd. With no arguments the loop rebuilds everything
+        from the store alone: it re-adopts the durable managed-job set,
+        replays any write-ahead intent the dead controller left mid-cycle
+        (completing or abandoning the rescale -- ``intent_replayed`` per
+        job), and returns the progress recorded in the jobs' checkpoints.
+
+        *job_ids* may still be supplied to adopt additional jobs the store
+        does not know about (a migration path, and the pre-intent-log
+        behaviour); they are unioned with the stored set and durably
+        adopted.
+
+        A missing checkpoint reports 0.0 -- safe (the job restarts from
+        scratch) but worth an operator's attention, since "fresh job" and
+        "lost checkpoint" look identical from the return value alone: each
+        one is traced as ``checkpoint_missing`` and counted in
+        ``loop.checkpoints_missing``.
         """
+        now = float(self._step_index)
+        stored = self.controller.managed_jobs()
+        for job_id, phase, outcome in self.controller.replay_intents():
+            if self.tracer:
+                self.tracer.emit(
+                    EVENT_INTENT_REPLAYED,
+                    now,
+                    job_id=job_id,
+                    phase=phase,
+                    outcome=outcome,
+                )
+            self.metrics.counter("loop.intents_replayed").inc()
+        # Replay may have finished pending teardowns (releasing jobs).
+        stored &= self.controller.managed_jobs()
+        extra = set(job_ids or ()) - stored
+        for job_id in sorted(extra):
+            self.controller.adopt_job(job_id)
         adopted: Dict[str, float] = {}
-        for job_id in job_ids:
+        for job_id in sorted(stored | extra):
             checkpoint = self.controller.load_checkpoint(job_id)
             if checkpoint is None:
                 if self.tracer:
                     self.tracer.emit(
                         EVENT_CHECKPOINT_MISSING,
-                        float(self._step_index),
+                        now,
                         job_id=job_id,
                     )
                 self.metrics.counter("loop.checkpoints_missing").inc()

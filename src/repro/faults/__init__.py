@@ -20,6 +20,15 @@ semantics.
 """
 
 from repro.faults.config import FaultConfig
+from repro.faults.crashpoints import (
+    CRASH_AFTER_CHECKPOINT,
+    CRASH_AFTER_LAUNCH,
+    CRASH_AFTER_TEARDOWN,
+    CRASH_MID_LAUNCH,
+    CRASH_POINTS,
+    ControllerCrash,
+    CrashPointInjector,
+)
 from repro.faults.injector import FaultInjector, IntervalFaults, NodeOutage
 from repro.faults.kv import FlakyKVStore, RetryingKVStore
 from repro.faults.plan import CheckpointLoss, FaultPlan, NodeCrash, TaskCrash
@@ -30,6 +39,13 @@ __all__ = [
     "NodeCrash",
     "TaskCrash",
     "CheckpointLoss",
+    "ControllerCrash",
+    "CrashPointInjector",
+    "CRASH_POINTS",
+    "CRASH_AFTER_CHECKPOINT",
+    "CRASH_AFTER_TEARDOWN",
+    "CRASH_MID_LAUNCH",
+    "CRASH_AFTER_LAUNCH",
     "FaultInjector",
     "IntervalFaults",
     "NodeOutage",

@@ -1,0 +1,95 @@
+"""Named controller crash points (§5.5 crash consistency, made testable).
+
+The §5.4 rescale cycle -- checkpoint, teardown, relaunch -- is exactly the
+window where a dying scheduler pod can strand a job: killed after the
+teardown, the job has zero pods and (without the intent log) no record
+that it was mid-rescale. :class:`CrashPointInjector` kills the controller
+at a *named* point inside :meth:`repro.k8s.controller.JobController.reconcile`
+by raising :class:`~repro.common.errors.ControllerCrashed`, which nothing
+in the control plane is allowed to absorb. Chaos tests then restart the
+loop over the same store (``ControlLoop.recover()``) and assert
+convergence -- one crash point at a time, every crash point covered.
+
+Crash points are scripted through :class:`ControllerCrash` entries on a
+:class:`~repro.faults.FaultPlan` (deterministic, no RNG), mirroring how
+:class:`~repro.faults.plan.NodeCrash` scripts node outages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.common.errors import ControllerCrashed, FaultInjectionError
+
+#: After the pre-rescale checkpoint is saved and the intent written, before
+#: any pod is torn down.
+CRASH_AFTER_CHECKPOINT = "after_checkpoint"
+#: After the job's old pods are gone, before the relaunch begins.
+CRASH_AFTER_TEARDOWN = "after_teardown"
+#: After the first pod of the relaunch is bound, before the rest exist.
+CRASH_MID_LAUNCH = "mid_launch"
+#: After every new pod is bound, before the intent is marked done.
+CRASH_AFTER_LAUNCH = "after_launch"
+
+#: Every named crash point inside ``reconcile``, in cycle order.
+CRASH_POINTS = (
+    CRASH_AFTER_CHECKPOINT,
+    CRASH_AFTER_TEARDOWN,
+    CRASH_MID_LAUNCH,
+    CRASH_AFTER_LAUNCH,
+)
+
+
+@dataclass(frozen=True)
+class ControllerCrash:
+    """Kill the controller at *point*, optionally only for *job_id*.
+
+    ``job_id=None`` fires on the first job whose cycle reaches the point.
+    Each scripted crash fires exactly once -- the restarted controller
+    replays the same code path without dying again, like a real crash
+    followed by a healthy restart.
+    """
+
+    point: str
+    job_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.point not in CRASH_POINTS:
+            raise FaultInjectionError(
+                f"unknown crash point {self.point!r}; known: {list(CRASH_POINTS)}"
+            )
+
+
+class CrashPointInjector:
+    """Fires scripted :class:`ControllerCrash` events, one-shot each.
+
+    Falsy when no crashes remain, so the controller's hot path guards with
+    ``if self.crash_points:`` exactly like the ``repro.obs`` null objects.
+    """
+
+    def __init__(self, crashes: Iterable[ControllerCrash] = ()):
+        self._pending: List[ControllerCrash] = list(crashes)
+        #: ``(point, job_id)`` pairs that actually fired, in order.
+        self.fired: List[Tuple[str, str]] = []
+
+    @classmethod
+    def from_plan(cls, plan) -> "CrashPointInjector":
+        """Build an injector from a :class:`~repro.faults.FaultPlan`."""
+        return cls(plan.controller_crashes)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def fire(self, point: str, job_id: str) -> None:
+        """Raise :class:`ControllerCrashed` if a scripted crash matches."""
+        for index, crash in enumerate(self._pending):
+            if crash.point != point:
+                continue
+            if crash.job_id is not None and crash.job_id != job_id:
+                continue
+            del self._pending[index]
+            self.fired.append((point, job_id))
+            raise ControllerCrashed(
+                f"injected controller crash at {point!r} (job {job_id!r})"
+            )

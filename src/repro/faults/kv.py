@@ -59,9 +59,21 @@ class FlakyKVStore:
             raise TransientKVError(f"injected transient failure during {op}")
 
     # -- flaky data path -----------------------------------------------------------
-    def put(self, key: str, value: str) -> int:
+    def put(self, key: str, value: str, lease: Optional[int] = None) -> int:
         self._maybe_fail("put")
-        return self.inner.put(key, value)
+        return self.inner.put(key, value, lease=lease)
+
+    def grant_lease(self, ttl: float, now: float = 0.0) -> int:
+        self._maybe_fail("grant_lease")
+        return self.inner.grant_lease(ttl, now)
+
+    def renew_lease(self, lease_id: int, now: float) -> float:
+        self._maybe_fail("renew_lease")
+        return self.inner.renew_lease(lease_id, now)
+
+    def revoke_lease(self, lease_id: int) -> List[str]:
+        self._maybe_fail("revoke_lease")
+        return self.inner.revoke_lease(lease_id)
 
     def get(self, key: str) -> Optional[str]:
         self._maybe_fail("get")
@@ -106,6 +118,20 @@ class FlakyKVStore:
 
     def cancel_watch(self, watch_id: int) -> bool:
         return self.inner.cancel_watch(watch_id)
+
+    # Lease expiry is server-internal bookkeeping (etcd's lessor runs next
+    # to the data), not a network hop -- it stays reliable, like watches.
+    def expire_leases(self, now: float) -> List[int]:
+        return self.inner.expire_leases(now)
+
+    def lease_remaining(self, lease_id: int, now: float) -> float:
+        return self.inner.lease_remaining(lease_id, now)
+
+    def lease_keys(self, lease_id: int) -> List[str]:
+        return self.inner.lease_keys(lease_id)
+
+    def has_lease(self, lease_id: int) -> bool:
+        return self.inner.has_lease(lease_id)
 
 
 class RetryingKVStore:
@@ -175,8 +201,21 @@ class RetryingKVStore:
         )
 
     # -- retried data path ---------------------------------------------------------
-    def put(self, key: str, value: str) -> int:
-        return self._call("put", lambda: self.inner.put(key, value))
+    def put(self, key: str, value: str, lease: Optional[int] = None) -> int:
+        return self._call("put", lambda: self.inner.put(key, value, lease=lease))
+
+    def grant_lease(self, ttl: float, now: float = 0.0) -> int:
+        return self._call("grant_lease", lambda: self.inner.grant_lease(ttl, now))
+
+    def renew_lease(self, lease_id: int, now: float) -> float:
+        return self._call(
+            "renew_lease", lambda: self.inner.renew_lease(lease_id, now)
+        )
+
+    def revoke_lease(self, lease_id: int) -> List[str]:
+        return self._call(
+            "revoke_lease", lambda: self.inner.revoke_lease(lease_id)
+        )
 
     def get(self, key: str) -> Optional[str]:
         return self._call("get", lambda: self.inner.get(key))
@@ -219,3 +258,15 @@ class RetryingKVStore:
 
     def cancel_watch(self, watch_id: int) -> bool:
         return self.inner.cancel_watch(watch_id)
+
+    def expire_leases(self, now: float) -> List[int]:
+        return self.inner.expire_leases(now)
+
+    def lease_remaining(self, lease_id: int, now: float) -> float:
+        return self.inner.lease_remaining(lease_id, now)
+
+    def lease_keys(self, lease_id: int) -> List[str]:
+        return self.inner.lease_keys(lease_id)
+
+    def has_lease(self, lease_id: int) -> bool:
+        return self.inner.has_lease(lease_id)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.common.errors import FaultInjectionError
+from repro.faults.crashpoints import CRASH_POINTS, ControllerCrash
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,10 @@ class FaultPlan:
     node_crashes: Tuple[NodeCrash, ...] = ()
     task_crashes: Tuple[TaskCrash, ...] = ()
     checkpoint_losses: Tuple[CheckpointLoss, ...] = ()
+    #: Scripted controller deaths at named points inside ``reconcile``;
+    #: point-ordered (the cycle order), not time-ordered -- the controller
+    #: has no clock of its own.
+    controller_crashes: Tuple[ControllerCrash, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -89,9 +94,24 @@ class FaultPlan:
             "checkpoint_losses",
             tuple(sorted(self.checkpoint_losses, key=lambda c: (c.time, c.job_id))),
         )
+        object.__setattr__(
+            self,
+            "controller_crashes",
+            tuple(
+                sorted(
+                    self.controller_crashes,
+                    key=lambda c: (CRASH_POINTS.index(c.point), c.job_id or ""),
+                )
+            ),
+        )
 
     def __bool__(self) -> bool:
-        return bool(self.node_crashes or self.task_crashes or self.checkpoint_losses)
+        return bool(
+            self.node_crashes
+            or self.task_crashes
+            or self.checkpoint_losses
+            or self.controller_crashes
+        )
 
     def node_crashes_in(self, start: float, end: float) -> Tuple[NodeCrash, ...]:
         """Planned node crashes with ``start <= time < end``."""

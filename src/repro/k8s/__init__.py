@@ -5,14 +5,22 @@ controller implementing checkpoint-based elastic scaling -- the plumbing the
 real Optimus gets from Kubernetes + etcd.
 """
 
-from repro.k8s.api import NODE_PREFIX, POD_PREFIX, APIServer
+from repro.k8s.api import HEARTBEAT_PREFIX, NODE_PREFIX, POD_PREFIX, APIServer
 from repro.k8s.controller import (
     CHECKPOINT_PREFIX,
+    INTENT_CHECKPOINTED,
+    INTENT_DONE,
+    INTENT_LAUNCHING,
+    INTENT_PHASES,
+    INTENT_PREFIX,
+    INTENT_TORN_DOWN,
+    MANAGED_PREFIX,
     JobController,
+    JobIntent,
     JobTarget,
     ReconcileReport,
 )
-from repro.k8s.kvstore import KVEvent, KVStore
+from repro.k8s.kvstore import KVEvent, KVStore, Lease
 from repro.k8s.objects import (
     PHASE_FAILED,
     PHASE_PENDING,
@@ -26,16 +34,26 @@ from repro.k8s.objects import (
 __all__ = [
     "KVStore",
     "KVEvent",
+    "Lease",
     "APIServer",
     "NodeInfo",
     "PodSpec",
     "pod_name",
     "JobController",
+    "JobIntent",
     "JobTarget",
     "ReconcileReport",
     "NODE_PREFIX",
     "POD_PREFIX",
+    "HEARTBEAT_PREFIX",
     "CHECKPOINT_PREFIX",
+    "INTENT_PREFIX",
+    "MANAGED_PREFIX",
+    "INTENT_PHASES",
+    "INTENT_CHECKPOINTED",
+    "INTENT_TORN_DOWN",
+    "INTENT_LAUNCHING",
+    "INTENT_DONE",
     "PHASE_PENDING",
     "PHASE_RUNNING",
     "PHASE_SUCCEEDED",

@@ -16,6 +16,7 @@ from repro.cluster.resources import ResourceVector
 from repro.common.errors import KVStoreError
 from repro.k8s.kvstore import KVStore
 from repro.k8s.objects import (
+    PHASE_FAILED,
     PHASE_PENDING,
     PHASE_RUNNING,
     NodeInfo,
@@ -24,6 +25,9 @@ from repro.k8s.objects import (
 
 NODE_PREFIX = "/nodes/"
 POD_PREFIX = "/pods/"
+#: Lease-attached liveness markers, one per heartbeating node. The marker
+#: disappearing (its lease expired) is what the health sweep keys off.
+HEARTBEAT_PREFIX = "/heartbeats/"
 
 
 class APIServer:
@@ -36,28 +40,133 @@ class APIServer:
         self.store = store if store is not None else KVStore()
 
     # -- nodes -------------------------------------------------------------------
-    def register_node(self, name: str, capacity: ResourceVector) -> NodeInfo:
+    def register_node(
+        self,
+        name: str,
+        capacity: ResourceVector,
+        lease_ttl: Optional[float] = None,
+        now: float = 0.0,
+    ) -> NodeInfo:
         """Register a node; re-registering an identical node is idempotent.
 
         A node that crashes and comes back re-announces itself with the
         same name and capacity (the kubelet's normal recovery path); that
-        must not error, and must preserve the existing allocation record.
-        Re-registering with a *different* capacity is a real conflict and
-        still raises.
+        must not error, must preserve the existing allocation record, and
+        -- when the node had been cordoned for missing heartbeats --
+        uncordons it under a fresh lease. Re-registering with a
+        *different* capacity is a real conflict and still raises.
+
+        With *lease_ttl*, the node's health is backed by a KV-store lease:
+        it must :meth:`heartbeat_node` at least every ``lease_ttl`` clock
+        units or the next :meth:`sweep_expired` cordons it. Without
+        (the default), the node is trusted forever -- the pre-lease
+        behaviour, bit-identical for existing configurations.
         """
         key = NODE_PREFIX + name
         payload = self.store.get(key)
         if payload is not None:
             node = NodeInfo.from_json(payload)
-            if node.capacity == capacity:
+            if node.capacity != capacity:
+                raise KVStoreError(
+                    f"node {name!r} already registered with capacity "
+                    f"{node.capacity}, not {capacity}"
+                )
+            if lease_ttl is None and not node.cordoned:
                 return node
-            raise KVStoreError(
-                f"node {name!r} already registered with capacity "
-                f"{node.capacity}, not {capacity}"
-            )
-        node = NodeInfo(name=name, capacity=capacity)
+            # A re-announce revives the node: fresh lease, cordon lifted.
+            node.cordoned = False
+            node.lease_id = self._grant_node_lease(name, lease_ttl, now)
+            self._save_node(node)
+            return node
+        node = NodeInfo(
+            name=name,
+            capacity=capacity,
+            lease_id=self._grant_node_lease(name, lease_ttl, now),
+        )
         self.store.put(key, node.to_json())
         return node
+
+    def _grant_node_lease(
+        self, name: str, lease_ttl: Optional[float], now: float
+    ) -> Optional[int]:
+        if lease_ttl is None:
+            return None
+        lease_id = self.store.grant_lease(lease_ttl, now)
+        self.store.put(HEARTBEAT_PREFIX + name, str(lease_id), lease=lease_id)
+        return lease_id
+
+    def heartbeat_node(self, name: str, now: float) -> NodeInfo:
+        """Renew a node's health lease (the kubelet status ping).
+
+        Raises when the node has no lease (registered without heartbeats)
+        or when the lease already lapsed -- a node that went silent past
+        its TTL must re-register, not sneak back in with a late ping.
+        """
+        node = self.node(name)
+        if node.lease_id is None:
+            raise KVStoreError(f"node {name!r} has no health lease")
+        if node.cordoned or not self.store.has_lease(node.lease_id):
+            raise KVStoreError(
+                f"node {name!r} lease expired; it must re-register"
+            )
+        self.store.renew_lease(node.lease_id, now)
+        return node
+
+    def sweep_expired(self, now: float) -> List[str]:
+        """Cordon every node whose health lease lapsed by *now*.
+
+        Expires KV leases (dropping their heartbeat markers), cordons the
+        affected nodes, and marks their bound pods ``Failed`` -- lost with
+        the machine, so the next reconcile relaunches those jobs from
+        checkpoint. Returns the newly cordoned node names, sorted.
+        """
+        self.store.expire_leases(now)
+        cordoned = []
+        for node in self.list_nodes():
+            if node.cordoned or node.lease_id is None:
+                continue
+            if self.store.get(HEARTBEAT_PREFIX + node.name) is not None:
+                continue
+            self.cordon_node(node.name)
+            cordoned.append(node.name)
+        return cordoned
+
+    def cordon_node(self, name: str) -> NodeInfo:
+        """Take a node out of scheduling and mark its bound pods lost."""
+        node = self.node(name)
+        if node.cordoned:
+            return node
+        node.cordoned = True
+        self._save_node(node)
+        for pod in self.list_pods(node=name):
+            pod.phase = PHASE_FAILED
+            self.store.put(POD_PREFIX + pod.name, pod.to_json())
+        return node
+
+    def uncordon_node(self, name: str) -> NodeInfo:
+        """Return a cordoned node to service (its capacity becomes usable)."""
+        node = self.node(name)
+        if node.cordoned:
+            node.cordoned = False
+            self._save_node(node)
+        return node
+
+    def remove_node(self, name: str) -> bool:
+        """Delete a node's record entirely (e.g. a cordoned node reclaimed).
+
+        Pods still bound to the node keep their (now dangling) binding;
+        :meth:`delete_pod` tolerates the missing node when they are torn
+        down. Returns ``True`` when the node existed.
+        """
+        payload = self.store.get(NODE_PREFIX + name)
+        if payload is None:
+            return False
+        node = NodeInfo.from_json(payload)
+        if node.lease_id is not None and self.store.has_lease(node.lease_id):
+            self.store.revoke_lease(node.lease_id)
+        else:
+            self.store.delete(HEARTBEAT_PREFIX + name)
+        return self.store.delete(NODE_PREFIX + name)
 
     def node(self, name: str) -> NodeInfo:
         payload = self.store.get(NODE_PREFIX + name)
@@ -65,11 +174,14 @@ class APIServer:
             raise KVStoreError(f"unknown node {name!r}")
         return NodeInfo.from_json(payload)
 
-    def list_nodes(self) -> List[NodeInfo]:
-        return [
+    def list_nodes(self, include_cordoned: bool = True) -> List[NodeInfo]:
+        nodes = [
             NodeInfo.from_json(payload)
             for payload in self.store.list_prefix(NODE_PREFIX).values()
         ]
+        if not include_cordoned:
+            nodes = [node for node in nodes if not node.cordoned]
+        return nodes
 
     def _save_node(self, node: NodeInfo) -> None:
         self.store.put(NODE_PREFIX + node.name, node.to_json())
@@ -109,6 +221,10 @@ class APIServer:
         if pod.bound:
             raise KVStoreError(f"pod {pod_name!r} is already bound to {pod.node}")
         node = self.node(node_name)
+        if node.cordoned:
+            raise KVStoreError(
+                f"node {node_name!r} is cordoned; cannot bind {pod_name!r}"
+            )
         if not pod.demand.fits_within(node.allocatable):
             raise KVStoreError(
                 f"pod {pod_name!r} does not fit on node {node_name!r} "
@@ -122,16 +238,25 @@ class APIServer:
         return pod
 
     def delete_pod(self, pod_name: str) -> bool:
-        """Delete a pod, releasing its node resources if bound."""
+        """Delete a pod, releasing its node resources if bound.
+
+        A bound pod whose node record has vanished (a cordoned node that
+        was since removed) still deletes cleanly -- there is no capacity
+        left to release. Only the *absence* of the record is tolerated; a
+        transient store failure while reading it still raises, so flaky-KV
+        runs never silently skip the release.
+        """
         key = POD_PREFIX + pod_name
         payload = self.store.get(key)
         if payload is None:
             return False
         pod = PodSpec.from_json(payload)
         if pod.bound:
-            node = self.node(pod.node)
-            node.allocated = node.allocated - pod.demand
-            self._save_node(node)
+            node_payload = self.store.get(NODE_PREFIX + pod.node)
+            if node_payload is not None:
+                node = NodeInfo.from_json(node_payload)
+                node.allocated = node.allocated - pod.demand
+                self._save_node(node)
         return self.store.delete(key)
 
     def restart_pod(self, pod_name: str) -> PodSpec:

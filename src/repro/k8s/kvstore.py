@@ -3,15 +3,19 @@
 Optimus stores job states in etcd for fault tolerance and polls the
 Kubernetes master for cluster state. This module provides the storage half
 of that substrate: a revisioned key/value store with prefix queries,
-compare-and-swap, and prefix watches delivering change events -- the etcd
-features the scheduler stack actually relies on.
+compare-and-swap, prefix watches delivering change events, and TTL leases
+with attached keys -- the etcd features the scheduler stack actually
+relies on. Leases carry an explicit clock (the store has none of its own):
+callers pass ``now`` when granting, renewing and expiring, which keeps
+lease behaviour deterministic under both the simulator's clock and the
+deploy loop's step index.
 """
 
 from __future__ import annotations
 
 import fnmatch
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import KVStoreError
 
@@ -29,6 +33,19 @@ class KVEvent:
 WatchCallback = Callable[[KVEvent], None]
 
 
+@dataclass
+class Lease:
+    """One TTL lease: alive until ``expires_at``, keys die with it."""
+
+    lease_id: int
+    ttl: float
+    expires_at: float
+    keys: Set[str] = field(default_factory=set)
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
 class KVStore:
     """A miniature etcd: revisioned puts, CAS, prefix listing and watches.
 
@@ -41,6 +58,8 @@ class KVStore:
         self._revision = 0
         self._watchers: List[Tuple[int, str, WatchCallback]] = []
         self._watch_id = 0
+        self._leases: Dict[int, Lease] = {}
+        self._lease_id = 0
 
     @property
     def revision(self) -> int:
@@ -48,9 +67,19 @@ class KVStore:
         return self._revision
 
     # -- basic operations ---------------------------------------------------------
-    def put(self, key: str, value: str) -> int:
-        """Set *key* to *value*; returns the new revision."""
+    def put(self, key: str, value: str, lease: Optional[int] = None) -> int:
+        """Set *key* to *value*; returns the new revision.
+
+        With *lease*, the key is attached to that lease and deleted when
+        the lease expires or is revoked (the etcd leased-put).
+        """
         self._validate_key(key)
+        # A put re-states the key's lease attachment (etcd semantics): the
+        # key moves to the named lease, or detaches when *lease* is None.
+        target = self._lease(lease) if lease is not None else None
+        self._detach_key(key)
+        if target is not None:
+            target.keys.add(key)
         self._revision += 1
         self._data[key] = (str(value), self._revision)
         self._notify(KVEvent("put", key, str(value), self._revision))
@@ -70,6 +99,7 @@ class KVStore:
         """Remove *key*; True when it existed."""
         if key not in self._data:
             return False
+        self._detach_key(key)
         self._revision += 1
         del self._data[key]
         self._notify(KVEvent("delete", key, None, self._revision))
@@ -106,6 +136,86 @@ class KVStore:
 
     def __contains__(self, key: str) -> bool:
         return key in self._data
+
+    # -- leases -------------------------------------------------------------------
+    def grant_lease(self, ttl: float, now: float = 0.0) -> int:
+        """Create a lease that lives until ``now + ttl``; returns its id."""
+        if ttl <= 0:
+            raise KVStoreError("lease ttl must be positive")
+        self._lease_id += 1
+        self._leases[self._lease_id] = Lease(
+            lease_id=self._lease_id, ttl=float(ttl), expires_at=now + ttl
+        )
+        return self._lease_id
+
+    def renew_lease(self, lease_id: int, now: float) -> float:
+        """Push the lease's expiry to ``now + ttl`` (the etcd keep-alive).
+
+        Renewing a lease that was never granted -- or that has already
+        expired -- raises: the holder must re-acquire, exactly as an etcd
+        client whose keep-alive stream lapsed must re-grant.
+        """
+        lease = self._lease(lease_id)
+        if lease.expired(now):
+            raise KVStoreError(f"lease {lease_id} already expired")
+        lease.expires_at = now + lease.ttl
+        return lease.expires_at
+
+    def revoke_lease(self, lease_id: int) -> List[str]:
+        """Drop the lease immediately; returns the attached keys it deleted.
+
+        Revoking a lease that no longer exists (already expired or revoked)
+        is a no-op: callers tearing state down must not race the expiry
+        sweep.
+        """
+        lease = self._leases.pop(lease_id, None)
+        if lease is None:
+            return []
+        return self._drop_lease_keys(lease)
+
+    def expire_leases(self, now: float) -> List[int]:
+        """Expire every lease whose TTL lapsed by *now*, deleting their keys.
+
+        Returns the expired lease ids, sorted. The store has no background
+        clock, so callers (the control loop's sweep) drive this explicitly.
+        """
+        due = sorted(
+            lease_id
+            for lease_id, lease in self._leases.items()
+            if lease.expired(now)
+        )
+        for lease_id in due:
+            lease = self._leases.pop(lease_id)
+            self._drop_lease_keys(lease)
+        return due
+
+    def lease_remaining(self, lease_id: int, now: float) -> float:
+        """Seconds until the lease expires (negative when already lapsed)."""
+        return self._lease(lease_id).expires_at - now
+
+    def lease_keys(self, lease_id: int) -> List[str]:
+        """The keys currently attached to a lease, sorted."""
+        return sorted(self._lease(lease_id).keys)
+
+    def has_lease(self, lease_id: int) -> bool:
+        return lease_id in self._leases
+
+    def _lease(self, lease_id: int) -> Lease:
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            raise KVStoreError(f"unknown lease {lease_id}")
+        return lease
+
+    def _detach_key(self, key: str) -> None:
+        for lease in self._leases.values():
+            lease.keys.discard(key)
+
+    def _drop_lease_keys(self, lease: Lease) -> List[str]:
+        dropped = []
+        for key in sorted(lease.keys):
+            if self.delete(key):
+                dropped.append(key)
+        return dropped
 
     # -- watches ------------------------------------------------------------------
     def watch(self, prefix: str, callback: WatchCallback) -> int:

@@ -85,6 +85,13 @@ class NodeInfo:
     capacity: ResourceVector
     #: Resources already promised to bound pods.
     allocated: ResourceVector = field(default_factory=ResourceVector)
+    #: A cordoned node keeps its record (and its pods' bindings) but takes
+    #: no new pods and is excluded from scheduling snapshots; the health
+    #: sweep cordons nodes whose heartbeat lease expired.
+    cordoned: bool = False
+    #: The KV-store lease backing this node's health; ``None`` when the
+    #: node was registered without heartbeats (it then never expires).
+    lease_id: Optional[int] = None
 
     @property
     def allocatable(self) -> ResourceVector:
@@ -96,6 +103,8 @@ class NodeInfo:
                 "name": self.name,
                 "capacity": dict(self.capacity.items()),
                 "allocated": dict(self.allocated.items()),
+                "cordoned": self.cordoned,
+                "lease_id": self.lease_id,
             },
             sort_keys=True,
         )
@@ -107,6 +116,8 @@ class NodeInfo:
             name=data["name"],
             capacity=ResourceVector(data["capacity"]),
             allocated=ResourceVector(data.get("allocated", {})),
+            cordoned=data.get("cordoned", False),
+            lease_id=data.get("lease_id"),
         )
 
 

@@ -45,10 +45,13 @@ from repro.obs.tracer import (
     EVENT_JOB_ARRIVED,
     EVENT_JOB_COMPLETED,
     EVENT_JOB_RESCALED,
+    EVENT_INTENT_REPLAYED,
     EVENT_JOB_RESTARTED,
     EVENT_KV_RETRY,
     EVENT_KV_RETRY_EXHAUSTED,
+    EVENT_NODE_CORDONED,
     EVENT_NODE_FAILED,
+    EVENT_NODE_LEASE_RENEWED,
     EVENT_NODE_RECOVERED,
     EVENT_PLACEMENT_DECIDED,
     EVENT_RESCALE_ROLLED_BACK,
@@ -87,6 +90,9 @@ __all__ = [
     "EVENT_KV_RETRY_EXHAUSTED",
     "EVENT_RESCALE_ROLLED_BACK",
     "EVENT_CHECKPOINT_MISSING",
+    "EVENT_NODE_CORDONED",
+    "EVENT_NODE_LEASE_RENEWED",
+    "EVENT_INTENT_REPLAYED",
     # registry
     "Counter",
     "Gauge",

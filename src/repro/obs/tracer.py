@@ -53,6 +53,12 @@ EVENT_KV_RETRY_EXHAUSTED = "kv_retry_exhausted"
 EVENT_RESCALE_ROLLED_BACK = "rescale_rolled_back"
 #: Recovery found no checkpoint for a job (fresh job or lost checkpoint).
 EVENT_CHECKPOINT_MISSING = "checkpoint_missing"
+#: A node's health lease lapsed and the control loop cordoned it.
+EVENT_NODE_CORDONED = "node_cordoned"
+#: A node heartbeat renewed its health lease.
+EVENT_NODE_LEASE_RENEWED = "node_lease_renewed"
+#: Recovery replayed a write-ahead intent left by a dead controller.
+EVENT_INTENT_REPLAYED = "intent_replayed"
 
 #: Every event type a tracer accepts.
 EVENT_TYPES = frozenset(
@@ -72,6 +78,9 @@ EVENT_TYPES = frozenset(
         EVENT_KV_RETRY_EXHAUSTED,
         EVENT_RESCALE_ROLLED_BACK,
         EVENT_CHECKPOINT_MISSING,
+        EVENT_NODE_CORDONED,
+        EVENT_NODE_LEASE_RENEWED,
+        EVENT_INTENT_REPLAYED,
     }
 )
 

@@ -1,0 +1,244 @@
+"""Controller crash-point chaos: kill the control plane at every named
+point of the checkpoint → teardown → relaunch cycle and prove the
+store-driven recovery converges (§5.5).
+
+Convergence means: the desired pods run, no pod is orphaned, every node's
+allocation equals the sum of its bound pods' demands, and the job lost at
+most one scheduling interval of progress.
+
+``CHAOS_SEED`` (CI matrix) varies the job mix; ``CHAOS_CRASH_POINT``
+restricts the parametrized crash point so the CI matrix can fan the four
+points out across workers.
+"""
+
+import os
+
+import pytest
+
+from repro.cluster import cpu_mem
+from repro.common.errors import ControllerCrashed
+from repro.deploy import ControlLoop
+from repro.faults import CRASH_POINTS, ControllerCrash, CrashPointInjector
+from repro.k8s import (
+    INTENT_DONE,
+    APIServer,
+    JobController,
+    JobTarget,
+)
+from repro.core.allocation import TaskAllocation
+from repro.schedulers import JobView, Scheduler, SchedulingDecision
+from repro.workloads import StepTimeModel, make_job
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+_POINT_FILTER = os.environ.get("CHAOS_CRASH_POINT")
+ACTIVE_POINTS = (
+    [p for p in CRASH_POINTS if p == _POINT_FILTER]
+    if _POINT_FILTER
+    else list(CRASH_POINTS)
+)
+
+DEMAND = cpu_mem(2, 4)
+
+
+def fresh_api(n=3):
+    api = APIServer()
+    for i in range(n):
+        api.register_node(f"n{i}", cpu_mem(16, 64))
+    return api
+
+
+def target(job_id, layout):
+    return JobTarget(
+        job_id=job_id, worker_demand=DEMAND, ps_demand=DEMAND, layout=layout
+    )
+
+
+def assert_converged(api, expected_layouts):
+    """The §5.5 convergence invariants, checked against the API server."""
+    pods = api.list_pods()
+    # 1. No orphans: every pod belongs to an expected job.
+    assert {p.job_id for p in pods} <= set(expected_layouts)
+    # 2. Each job runs exactly its desired layout.
+    for job_id, layout in expected_layouts.items():
+        observed: dict = {}
+        for pod in api.list_pods(job_id=job_id):
+            assert pod.bound, f"unbound pod {pod.name}"
+            counts = observed.setdefault(pod.node, [0, 0])
+            counts[0 if pod.role == "worker" else 1] += 1
+        live = {s: (nw, np_) for s, (nw, np_) in layout.items() if nw or np_}
+        assert {s: tuple(c) for s, c in observed.items()} == live
+    # 3. No double-allocated capacity: node accounting matches bound pods.
+    for node in api.list_nodes():
+        bound = sum(
+            (p.demand for p in pods if p.node == node.name),
+            start=cpu_mem(0, 0),
+        )
+        assert dict(node.allocated.items()) == dict(bound.items())
+        assert node.allocated.fits_within(node.capacity)
+
+
+@pytest.mark.parametrize("point", ACTIVE_POINTS)
+class TestRescaleCrashRecovery:
+    """Crash during a rescale; a fresh controller replays it to completion."""
+
+    def _crash_mid_rescale(self, point):
+        api = fresh_api()
+        steady = JobController(api)
+        steady.adopt_job("a")
+        steady.reconcile([target("a", {"n0": (1, 1)})], {"a": 1_000.0})
+
+        doomed = JobController(
+            api, crash_points=CrashPointInjector([ControllerCrash(point)])
+        )
+        new_layout = {"n1": (2, 1)}
+        with pytest.raises(ControllerCrashed):
+            doomed.reconcile([target("a", new_layout)], {"a": 2_000.0})
+        assert [p for p, _ in doomed.crash_points.fired] == [point]
+        return api, new_layout
+
+    def test_replay_converges_to_intended_layout(self, point):
+        api, new_layout = self._crash_mid_rescale(point)
+        survivor = JobController(api)
+        outcomes = survivor.replay_intents()
+        assert [(j, o) for j, _, o in outcomes] == [("a", "completed")]
+        assert_converged(api, {"a": new_layout})
+        intent = survivor.load_intent("a")
+        assert intent is not None and intent.phase == INTENT_DONE
+
+    def test_progress_loss_bounded_by_one_interval(self, point):
+        api, _ = self._crash_mid_rescale(point)
+        JobController(api).replay_intents()
+        # The pre-cycle checkpoint carried the interval's progress reading.
+        assert JobController(api).load_checkpoint("a") == 2_000.0
+
+    def test_replay_twice_changes_nothing(self, point):
+        api, new_layout = self._crash_mid_rescale(point)
+        survivor = JobController(api)
+        survivor.replay_intents()
+        pods = {p.name: p.node for p in api.list_pods()}
+        assert survivor.replay_intents() == []
+        assert {p.name: p.node for p in api.list_pods()} == pods
+        assert_converged(api, {"a": new_layout})
+
+
+@pytest.mark.parametrize(
+    "point", [p for p in ACTIVE_POINTS if p in CRASH_POINTS[:2]]
+)
+class TestTeardownCrashRecovery:
+    """Crash while tearing a departing job down to zero pods."""
+
+    def test_replay_finishes_the_teardown(self, point):
+        api = fresh_api()
+        steady = JobController(api)
+        steady.adopt_job("a")
+        steady.reconcile([target("a", {"n0": (1, 1)})], {"a": 1_000.0})
+
+        doomed = JobController(
+            api, crash_points=CrashPointInjector([ControllerCrash(point)])
+        )
+        with pytest.raises(ControllerCrashed):
+            doomed.reconcile([], {"a": 2_000.0})
+
+        survivor = JobController(api)
+        outcomes = survivor.replay_intents()
+        assert [(j, o) for j, _, o in outcomes] == [("a", "torn_down")]
+        assert api.list_pods(job_id="a") == []
+        assert survivor.managed_jobs() == set()
+        assert_converged(api, {})
+        # The checkpoint outlives the job (a resume restores from it).
+        assert survivor.load_checkpoint("a") == 2_000.0
+
+
+class RotatingScheduler(Scheduler):
+    """Deterministically moves each job between layouts every interval, so
+    every step is a rescale and every crash point gets exercised. The seed
+    offsets the rotation (the CI chaos matrix varies it)."""
+
+    name = "rotating"
+
+    def __init__(self, seed=0):
+        self.calls = seed
+
+    def schedule(self, cluster, jobs):
+        shapes = [
+            {"n0": (1, 1)},
+            {"n1": (2, 1)},
+            {"n2": (1, 1), "n3": (1, 0)},
+        ]
+        self.calls += 1
+        allocations, layouts = {}, {}
+        for offset, job in enumerate(jobs):
+            layout = shapes[(self.calls + offset) % len(shapes)]
+            layouts[job.job_id] = layout
+            allocations[job.job_id] = TaskAllocation(
+                sum(nw for nw, _ in layout.values()),
+                sum(np_ for _, np_ in layout.values()),
+            )
+        return SchedulingDecision(allocations=allocations, layouts=layouts)
+
+
+@pytest.mark.parametrize("point", ACTIVE_POINTS)
+def test_control_loop_crash_and_recover_end_to_end(point):
+    """The full loop: schedule, crash at the point, restart a fresh loop
+    over the same store, recover, and keep scheduling."""
+    specs = [
+        make_job("seq2seq", job_id="job-0"),
+        make_job("resnet-50", job_id="job-1"),
+    ]
+    truths = {s.job_id: StepTimeModel(s.profile, "sync") for s in specs}
+    progress = {s.job_id: 0.0 for s in specs}
+
+    def views():
+        return [
+            JobView(
+                spec=spec,
+                remaining_steps=max(50_000.0 - progress[spec.job_id], 1_000.0),
+                speed=lambda p, w, t=truths[spec.job_id]: t.speed(p, w),
+                observation_count=100,
+            )
+            for spec in specs
+        ]
+
+    api = fresh_api(4)
+    scheduler = RotatingScheduler(seed=CHAOS_SEED)
+    loop = ControlLoop(
+        api,
+        scheduler,
+        crash_points=CrashPointInjector([ControllerCrash(point)]),
+    )
+    crashed = False
+    for _ in range(5):
+        try:
+            loop.step(views(), progress=dict(progress))
+        except ControllerCrashed:
+            crashed = True
+            # Restart: same store and scheduler, fresh loop; the clock
+            # resumes where the dead incarnation stopped.
+            loop = ControlLoop(
+                api, scheduler, start_step=loop.step_index
+            )
+            recovered = loop.recover()
+            assert set(recovered) == {s.job_id for s in specs}
+            for job_id, steps in recovered.items():
+                # ≤ one interval of progress lost.
+                assert progress[job_id] - steps <= 500.0
+                progress[job_id] = max(progress[job_id], steps)
+            loop.step(views(), progress=dict(progress))
+        for spec in specs:
+            progress[spec.job_id] += 500.0
+
+    assert crashed, f"crash point {point} never fired"
+    # Converged: every pod belongs to a live job on consistent capacity.
+    layouts = {}
+    for spec in specs:
+        observed: dict = {}
+        for pod in api.list_pods(job_id=spec.job_id):
+            counts = observed.setdefault(pod.node, [0, 0])
+            counts[0 if pod.role == "worker" else 1] += 1
+        layouts[spec.job_id] = {s: tuple(c) for s, c in observed.items()}
+    assert_converged(api, layouts)
+    # And the store holds no unfinished intents.
+    assert all(
+        i.phase == INTENT_DONE
+        for i in loop.controller.list_intents().values()
+    )

@@ -1,0 +1,111 @@
+"""TTL leases in the etcd-like KV store (node-health substrate, §5.5)."""
+
+import pytest
+
+from repro.common.errors import KVStoreError
+from repro.k8s.kvstore import KVStore
+
+
+@pytest.fixture
+def store():
+    return KVStore()
+
+
+class TestGrantRenew:
+    def test_grant_returns_distinct_ids(self, store):
+        ids = {store.grant_lease(5.0) for _ in range(4)}
+        assert len(ids) == 4
+        assert all(store.has_lease(i) for i in ids)
+
+    def test_grant_rejects_non_positive_ttl(self, store):
+        with pytest.raises(KVStoreError):
+            store.grant_lease(0.0)
+        with pytest.raises(KVStoreError):
+            store.grant_lease(-1.0)
+
+    def test_renew_extends_expiry(self, store):
+        lease = store.grant_lease(2.0, now=0.0)
+        assert store.renew_lease(lease, now=1.5) == 3.5
+        assert store.lease_remaining(lease, now=3.0) == pytest.approx(0.5)
+
+    def test_renew_unknown_lease_raises(self, store):
+        with pytest.raises(KVStoreError):
+            store.renew_lease(999, now=0.0)
+
+    def test_renew_after_expiry_raises(self, store):
+        lease = store.grant_lease(1.0, now=0.0)
+        store.expire_leases(now=5.0)
+        with pytest.raises(KVStoreError):
+            store.renew_lease(lease, now=5.0)
+
+
+class TestAttachedKeys:
+    def test_put_attaches_key_to_lease(self, store):
+        lease = store.grant_lease(2.0, now=0.0)
+        store.put("/heartbeats/n0", "1", lease=lease)
+        assert store.lease_keys(lease) == ["/heartbeats/n0"]
+
+    def test_put_with_unknown_lease_raises_and_writes_nothing(self, store):
+        with pytest.raises(KVStoreError):
+            store.put("/k", "v", lease=42)
+        assert store.get("/k") is None
+
+    def test_expiry_deletes_attached_keys(self, store):
+        lease = store.grant_lease(2.0, now=0.0)
+        store.put("/a", "1", lease=lease)
+        store.put("/b", "2", lease=lease)
+        store.put("/c", "3")  # no lease: survives
+
+        assert store.expire_leases(now=3.0) == [lease]
+        assert store.get("/a") is None
+        assert store.get("/b") is None
+        assert store.get("/c") == "3"
+        assert not store.has_lease(lease)
+
+    def test_expiry_fires_watch_events(self, store):
+        events = []
+        store.watch("/hb/", lambda e: events.append(e))
+        lease = store.grant_lease(1.0, now=0.0)
+        store.put("/hb/n0", "1", lease=lease)
+        store.expire_leases(now=2.0)
+        assert [e.type for e in events] == ["put", "delete"]
+
+    def test_deleting_a_key_detaches_it(self, store):
+        lease = store.grant_lease(2.0, now=0.0)
+        store.put("/a", "1", lease=lease)
+        store.delete("/a")
+        assert store.lease_keys(lease) == []
+
+    def test_rewriting_without_lease_detaches(self, store):
+        lease = store.grant_lease(2.0, now=0.0)
+        store.put("/a", "1", lease=lease)
+        store.put("/a", "2")
+        store.expire_leases(now=9.0)
+        assert store.get("/a") == "2"
+
+
+class TestRevokeAndExpire:
+    def test_revoke_deletes_keys_and_lease(self, store):
+        lease = store.grant_lease(10.0, now=0.0)
+        store.put("/a", "1", lease=lease)
+        assert store.revoke_lease(lease) == ["/a"]
+        assert store.get("/a") is None
+        assert not store.has_lease(lease)
+
+    def test_revoke_unknown_lease_is_noop(self, store):
+        assert store.revoke_lease(123) == []
+
+    def test_expire_only_takes_lapsed_leases(self, store):
+        short = store.grant_lease(1.0, now=0.0)
+        long = store.grant_lease(100.0, now=0.0)
+        assert store.expire_leases(now=2.0) == [short]
+        assert store.has_lease(long)
+
+    def test_expire_is_idempotent(self, store):
+        lease = store.grant_lease(1.0, now=0.0)
+        assert store.expire_leases(now=2.0) == [lease]
+        assert store.expire_leases(now=2.0) == []
+
+    def test_lease_remaining_unknown_raises(self, store):
+        with pytest.raises(KVStoreError):
+            store.lease_remaining(7, now=0.0)

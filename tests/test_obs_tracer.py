@@ -38,6 +38,10 @@ class TestEventSchema:
             "kv_retry_exhausted",
             "rescale_rolled_back",
             "checkpoint_missing",
+            # crash-consistent control plane (§5.5)
+            "node_cordoned",
+            "node_lease_renewed",
+            "intent_replayed",
         }
 
     def test_emit_builds_typed_payload(self):
