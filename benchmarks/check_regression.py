@@ -1,0 +1,77 @@
+"""Compare a fresh BENCH_smoke.json against the committed baseline.
+
+CI's benchmark-smoke job stashes the committed ``BENCH_smoke.json``,
+reruns ``benchmarks/smoke.py`` on the PR's code, then calls::
+
+    python benchmarks/check_regression.py baseline.json BENCH_smoke.json
+
+The check fails (exit 1) when the interval-loop wall time regresses by
+more than ``--max-ratio`` (default 1.3, i.e. +30%) over the baseline.
+Other report fields are printed for context but not gated: wall time is
+the one metric every perf PR here optimises, and a loose 30% band keeps
+runner-to-runner noise from flaking the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: The gated metric and the report fields echoed for context.
+GATED_METRIC = "interval_loop_seconds"
+CONTEXT_METRICS = (
+    "intervals",
+    "allocate_p95_ms",
+    "place_p95_ms",
+    "average_jct_seconds",
+)
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_smoke.json")
+    parser.add_argument("current", help="freshly produced BENCH_smoke.json")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.3,
+        help="fail when current/baseline exceeds this (default 1.3 = +30%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    base_value = float(baseline[GATED_METRIC])
+    cur_value = float(current[GATED_METRIC])
+    if base_value <= 0:
+        print(f"baseline {GATED_METRIC} is {base_value}; nothing to gate")
+        return 0
+    ratio = cur_value / base_value
+
+    print(
+        f"{GATED_METRIC}: baseline {base_value:.4f}s -> current "
+        f"{cur_value:.4f}s (x{ratio:.2f}, limit x{args.max_ratio:.2f})"
+    )
+    for name in CONTEXT_METRICS:
+        if name in baseline or name in current:
+            print(f"  {name}: {baseline.get(name)} -> {current.get(name)}")
+
+    if ratio > args.max_ratio:
+        print(
+            f"FAIL: interval loop slowed by more than "
+            f"{100 * (args.max_ratio - 1):.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok: within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

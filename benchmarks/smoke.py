@@ -11,10 +11,17 @@ evaluated: at smoke scale they are not expected to hold. The goal is to
 catch API drift and crashes in every bench quickly, not to validate the
 paper's numbers.
 
+Besides smoking every bench, the runner times one instrumented
+standard-scale simulation and writes ``BENCH_smoke.json`` at the repo
+root: interval-loop wall time, allocate/place p95 latencies and the sim's
+average JCT. CI diffs that file against the committed baseline with
+``benchmarks/check_regression.py``.
+
 Usage::
 
-    python benchmarks/smoke.py            # run all benches
+    python benchmarks/smoke.py            # run all benches + write report
     python benchmarks/smoke.py fig12      # run benches matching a substring
+    python benchmarks/smoke.py --report-only   # only write BENCH_smoke.json
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from __future__ import annotations
 import glob
 import importlib
 import inspect
+import json
 import os
 import sys
 import time
@@ -92,8 +100,58 @@ def run_bench(module_name: str) -> float:
     return time.perf_counter() - start
 
 
+#: Where the smoke report lands (the repo root, next to pyproject.toml).
+REPORT_PATH = os.path.join(os.path.dirname(BENCH_DIR), "BENCH_smoke.json")
+
+
+def write_smoke_report(path: str = REPORT_PATH) -> dict:
+    """Time one instrumented standard-scale sim and write the report JSON.
+
+    The workload matches the repo's standard 9-job / 13-server scenario,
+    run with a live metrics registry so the per-phase histograms exist;
+    allocate/place p95s come straight from them.
+    """
+    from repro.cluster import Cluster, cpu_mem
+    from repro.obs import MetricsRegistry
+    from repro.schedulers import make_scheduler
+    from repro.sim import SimConfig, simulate
+    from repro.workloads import uniform_arrivals
+
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    result = simulate(
+        Cluster.homogeneous(13, cpu_mem(16, 80)),
+        make_scheduler("optimus"),
+        uniform_arrivals(num_jobs=9, window=12_000, seed=0),
+        SimConfig(seed=0),
+        metrics=registry,
+    )
+    elapsed = time.perf_counter() - start
+    snapshot = registry.snapshot()
+    intervals = int(snapshot["counters"].get("engine.intervals", 0))
+    report = {
+        "interval_loop_seconds": round(elapsed, 4),
+        "intervals": intervals,
+        "allocate_p95_ms": round(
+            1000.0 * registry.histogram("phase.allocate").quantile(0.95), 4
+        ),
+        "place_p95_ms": round(
+            1000.0 * registry.histogram("phase.place").quantile(0.95), 4
+        ),
+        "average_jct_seconds": round(result.summary()["average_jct"], 2),
+    }
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}: {json.dumps(report, sort_keys=True)}")
+    return report
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "--report-only":
+        write_smoke_report()
+        return 0
     pattern = argv[0] if argv else ""
     paths = sorted(glob.glob(os.path.join(BENCH_DIR, "bench_*.py")))
     names = [
@@ -119,6 +177,8 @@ def main(argv=None) -> int:
     print(
         f"\n{len(names) - len(failures)}/{len(names)} benches passed smoke"
     )
+    if not pattern:
+        write_smoke_report()
     return 1 if failures else 0
 
 

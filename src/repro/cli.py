@@ -6,6 +6,8 @@ Subcommands:
 * ``simulate`` -- run one full simulation and dump metrics (optionally JSON).
 * ``scalability`` -- time a scheduling round at cluster scale (Fig 12).
 * ``trace`` -- summarise a JSONL event trace written by ``--trace-out``.
+* ``metrics-export`` -- render a metrics dump in Prometheus text format.
+* ``top`` -- live (or ``--once``) cluster/job table from a trace file.
 * ``models`` -- print the Table-1 model zoo with ground-truth dynamics.
 * ``partition`` -- print the Table-3 style PAA-vs-MXNet comparison.
 * ``speed`` -- print a model's speed surface over (p, w).
@@ -157,7 +159,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     cluster = Cluster.homogeneous(args.servers, cpu_mem(16, 80))
 
     tracer = JsonlTracer(args.trace_out) if args.trace_out else None
-    registry = MetricsRegistry() if args.metrics_out else None
+    needs_registry = bool(args.metrics_out or args.timeseries_out)
+    registry = MetricsRegistry() if needs_registry else None
+    timeseries = None
+    if args.timeseries_out:
+        from repro.obs import TimeSeriesDB
+
+        timeseries = TimeSeriesDB()
     try:
         result = simulate(
             cluster,
@@ -166,16 +174,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             config,
             tracer=tracer,
             metrics=registry,
+            timeseries=timeseries,
         )
     finally:
         if tracer is not None:
             tracer.close()
     if args.trace_out:
         print(f"wrote trace to {args.trace_out}", file=sys.stderr)
-    if registry is not None:
+    if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
             json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
         print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if timeseries is not None:
+        with open(args.timeseries_out, "w") as handle:
+            json.dump(timeseries.snapshot(), handle, indent=2, sort_keys=True)
+        print(f"wrote timeseries to {args.timeseries_out}", file=sys.stderr)
 
     if args.json:
         print(result_to_json(result))
@@ -394,6 +407,56 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics_export(args: argparse.Namespace) -> int:
+    """Render a ``--metrics-out`` JSON dump in Prometheus text format."""
+    from repro.obs import render_prometheus
+
+    with open(args.file) as handle:
+        snapshot = json.load(handle)
+    text = render_prometheus(snapshot, namespace=args.namespace)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Cluster/job table from a trace: once, or refreshing while it grows."""
+    from repro.obs import read_trace_tolerant, render_top
+
+    metrics_snapshot = None
+    if args.metrics:
+        with open(args.metrics) as handle:
+            metrics_snapshot = json.load(handle)
+
+    def render() -> str:
+        events, skipped = read_trace_tolerant(args.file)
+        screen = render_top(
+            events,
+            metrics_snapshot=metrics_snapshot,
+            max_jobs=args.jobs if args.jobs > 0 else None,
+        )
+        if skipped:
+            screen += f"\n(skipped {skipped} corrupt line(s))"
+        return screen
+
+    if args.once:
+        print(render())
+        return 0
+    try:
+        while True:
+            # ANSI clear + home, like watch(1); the trace file is re-read
+            # every cycle so a still-running simulation streams in live.
+            sys.stdout.write("\x1b[2J\x1b[H" + render() + "\n")
+            sys.stdout.flush()
+            time.sleep(max(args.refresh, 0.1))
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     from repro.cluster.resources import ResourceVector
     from repro.core.allocation import AllocationRequest, allocate
@@ -559,6 +622,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a JSON metrics-registry dump (repro.obs) to FILE",
     )
+    simulate_cmd.add_argument(
+        "--timeseries-out",
+        metavar="FILE",
+        help="write a per-interval metrics-history dump (repro.obs "
+        "ring-buffer TSDB) to FILE",
+    )
     simulate_cmd.set_defaults(func=_cmd_simulate)
 
     trace_cmd = sub.add_parser(
@@ -572,6 +641,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="truncate each job's timeline (0 = no limit)",
     )
     trace_cmd.set_defaults(func=_cmd_trace)
+
+    metrics_export = sub.add_parser(
+        "metrics-export",
+        help="render a --metrics-out JSON dump in Prometheus text format",
+    )
+    metrics_export.add_argument("file", help="path to the metrics JSON dump")
+    metrics_export.add_argument(
+        "--namespace",
+        default="repro",
+        help="metric-name prefix (default: repro)",
+    )
+    metrics_export.add_argument(
+        "--out", metavar="FILE", help="write to FILE instead of stdout"
+    )
+    metrics_export.set_defaults(func=_cmd_metrics_export)
+
+    top_cmd = sub.add_parser(
+        "top", help="cluster/job table from a trace (live-refreshing)"
+    )
+    top_cmd.add_argument("file", help="path to the .jsonl trace")
+    top_cmd.add_argument(
+        "--metrics", metavar="FILE", help="join a metrics JSON dump into the header"
+    )
+    top_cmd.add_argument(
+        "--once", action="store_true", help="render once and exit"
+    )
+    top_cmd.add_argument(
+        "--refresh",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    top_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="show at most this many jobs (0 = all)",
+    )
+    top_cmd.set_defaults(func=_cmd_top)
 
     scalability = sub.add_parser(
         "scalability", help="time scheduling rounds at cluster scale (Fig 12)"

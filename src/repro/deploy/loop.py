@@ -37,6 +37,10 @@ from repro.common.errors import SchedulingError
 from repro.faults.crashpoints import CrashPointInjector
 from repro.k8s.api import APIServer
 from repro.k8s.controller import JobController, JobTarget, ReconcileReport
+from repro.obs.estimators import (
+    NULL_ESTIMATOR_TELEMETRY,
+    EstimatorTelemetry,
+)
 from repro.obs.registry import (
     NULL_PROFILER,
     MetricsRegistry,
@@ -44,6 +48,7 @@ from repro.obs.registry import (
     active_registry,
     use_registry,
 )
+from repro.obs.spans import span_tracer_for
 from repro.obs.tracer import (
     EVENT_ALLOCATION_DECIDED,
     EVENT_CHECKPOINT_MISSING,
@@ -106,6 +111,8 @@ class ControlLoop:
         metrics: Optional[MetricsRegistry] = None,
         crash_points: Optional[CrashPointInjector] = None,
         start_step: int = 0,
+        estimator_drift_window: int = 6,
+        estimator_drift_threshold: float = 0.5,
     ):
         self.api = api
         self.scheduler = scheduler
@@ -124,8 +131,29 @@ class ControlLoop:
             self.profiler = PhaseProfiler(self.metrics)
         else:
             self.profiler = NULL_PROFILER
+        # Causal span tracing: a ``step`` root per interval with sweep /
+        # snapshot / schedule / reconcile children; the controller opens
+        # per-job checkpoint / teardown / launch grandchildren.
+        self.spans = span_tracer_for(self.tracer)
+        if not self.controller.spans:
+            self.controller.spans = self.spans
+        # Prediction-quality telemetry: predictions recorded at decision
+        # time, resolved by callers through observe_speed /
+        # observe_completion (the deployment has no ground-truth clock).
+        if self.tracer or self.metrics:
+            self.estimators: EstimatorTelemetry = EstimatorTelemetry(
+                tracer=self.tracer,
+                metrics=self.metrics,
+                drift_window=estimator_drift_window,
+                drift_threshold=estimator_drift_threshold,
+            )
+        else:
+            self.estimators = NULL_ESTIMATOR_TELEMETRY
         self.scheduler.instrument(
-            tracer=self.tracer, metrics=self.metrics, profiler=self.profiler
+            tracer=self.tracer,
+            metrics=self.metrics,
+            profiler=self.profiler,
+            spans=self.spans,
         )
         # A recovered loop passes the dead predecessor's step index so the
         # shared clock (trace times, lease expiry) stays monotonic.
@@ -153,19 +181,23 @@ class ControlLoop:
         """
         now = float(self._step_index)
         tracer = self.tracer
+        spans = self.spans
+        spans.set_time(now)
         self.profiler.begin_interval()
         managed = {view.job_id for view in views}
-        with use_registry(self.metrics):
-            with self.profiler.phase("sweep"):
+        with use_registry(self.metrics), spans.span(
+            "step", step=self._step_index
+        ):
+            with spans.span("sweep"), self.profiler.phase("sweep"):
                 self.sweep_node_leases(now)
             # Write-ahead: the store knows the loop owns these jobs
             # *before* any of their pods are touched, so a crash mid-pass
             # cannot orphan a half-managed job.
             for job_id in sorted(managed - self._known_jobs):
                 self.controller.adopt_job(job_id)
-            with self.profiler.phase("snapshot"):
+            with spans.span("snapshot"), self.profiler.phase("snapshot"):
                 cluster = cluster_from_api(self.api, managed_jobs=managed)
-            with self.profiler.phase("schedule"):
+            with spans.span("schedule"), self.profiler.phase("schedule"):
                 decision = self.scheduler.schedule(cluster, views)
 
             if tracer:
@@ -191,6 +223,23 @@ class ControlLoop:
 
             targets = []
             by_id = {view.job_id: view for view in views}
+            if self.estimators:
+                # What the online models promise for the jobs that will
+                # run; callers resolve through observe_speed /
+                # observe_completion as the framework reports back.
+                done_steps = dict(progress or {})
+                for job_id in decision.scheduled_jobs:
+                    view = by_id[job_id]
+                    alloc = decision.allocations[job_id]
+                    if alloc.workers < 1:
+                        continue
+                    self.estimators.record_speed_prediction(
+                        job_id, view.speed(alloc.ps, alloc.workers)
+                    )
+                    self.estimators.record_total_prediction(
+                        job_id,
+                        done_steps.get(job_id, 0.0) + view.remaining_steps,
+                    )
             for job_id, layout in decision.layouts.items():
                 view = by_id[job_id]
                 targets.append(
@@ -201,7 +250,7 @@ class ControlLoop:
                         layout=dict(layout),
                     )
                 )
-            with self.profiler.phase("reconcile"):
+            with spans.span("reconcile"), self.profiler.phase("reconcile"):
                 # Graceful degradation: a rescale failing mid-flight rolls
                 # that job back to its previous pods and the loop carries on
                 # with the rest, instead of tearing half the fleet down.
@@ -253,6 +302,31 @@ class ControlLoop:
             )
         self._step_index += 1
         return StepReport(decision=decision, reconcile=report, paused=paused)
+
+    # -- estimator telemetry -------------------------------------------------------
+    def observe_speed(self, job_id: str, actual: float) -> Optional[float]:
+        """Score the last interval's speed prediction against reality.
+
+        Callers feed the training speed the framework actually measured;
+        returns the signed relative error (or ``None`` with no pending
+        prediction). Feeds the fleet MAPE gauges and the drift detector.
+        """
+        return self.estimators.resolve_speed(
+            job_id, actual, float(self._step_index)
+        )
+
+    def observe_completion(self, job_id: str, total_steps: float) -> int:
+        """Resolve every total-steps prediction for a finished job.
+
+        The Fig.-6 replay: each interval's predicted total is scored
+        against the steps the job actually needed. Returns the number of
+        predictions resolved and drops any still-pending speed prediction.
+        """
+        resolved = self.estimators.resolve_totals(
+            job_id, total_steps, float(self._step_index)
+        )
+        self.estimators.discard_job(job_id)
+        return resolved
 
     # -- node health --------------------------------------------------------------
     def heartbeat(self, node_name: str, now: Optional[float] = None) -> None:
@@ -331,17 +405,19 @@ class ControlLoop:
         ``loop.checkpoints_missing``.
         """
         now = float(self._step_index)
+        self.spans.set_time(now)
         stored = self.controller.managed_jobs()
-        for job_id, phase, outcome in self.controller.replay_intents():
-            if self.tracer:
-                self.tracer.emit(
-                    EVENT_INTENT_REPLAYED,
-                    now,
-                    job_id=job_id,
-                    phase=phase,
-                    outcome=outcome,
-                )
-            self.metrics.counter("loop.intents_replayed").inc()
+        with self.spans.span("replay_intents"):
+            for job_id, phase, outcome in self.controller.replay_intents():
+                if self.tracer:
+                    self.tracer.emit(
+                        EVENT_INTENT_REPLAYED,
+                        now,
+                        job_id=job_id,
+                        phase=phase,
+                        outcome=outcome,
+                    )
+                self.metrics.counter("loop.intents_replayed").inc()
         # Replay may have finished pending teardowns (releasing jobs).
         stored &= self.controller.managed_jobs()
         extra = set(job_ids or ()) - stored

@@ -23,6 +23,10 @@ import numpy as np
 from repro.common.errors import FittingError
 from repro.fitting.nnls import nnls
 from repro.fitting.preprocess import preprocess_losses
+from repro.obs.registry import active_registry
+
+#: Residual buckets for the fit-quality histograms (normalised loss units).
+RESIDUAL_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5)
 
 #: Minimum number of points required before a fit is attempted.
 MIN_POINTS = 4
@@ -227,8 +231,13 @@ def fit_loss_curve(
                 fd = consider(d)
 
     if best is None:
+        metrics = active_registry()
+        metrics.counter("est.loss_fit_failures").inc()
         raise FittingError("could not fit the loss curve to the data")
     rmse, beta0, beta1, beta2 = best
+    metrics = active_registry()
+    metrics.counter("est.loss_fits").inc()
+    metrics.histogram("est.loss_fit_residual", RESIDUAL_BUCKETS).observe(rmse)
     return LossCurveFit(
         beta0=beta0,
         beta1=beta1,

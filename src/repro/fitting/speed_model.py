@@ -31,7 +31,11 @@ import numpy as np
 
 from repro.common.errors import FittingError
 from repro.fitting.nnls import nnls
+from repro.obs.registry import active_registry
 from repro.workloads.speed import MODE_ASYNC, MODE_SYNC, validate_mode
+
+#: Buckets for the per-fit RSS histogram (speed-space squared error).
+RSS_BUCKETS = (0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
 
 #: One profiling measurement: (num_ps, num_workers, measured speed).
 SpeedSample = Tuple[int, int, float]
@@ -129,6 +133,9 @@ def fit_speed_model(
     rss = 0.0
     for p, w, speed in samples:
         rss += (fit.predict(p, w) - speed) ** 2
+    metrics = active_registry()
+    metrics.counter("est.speed_fits").inc()
+    metrics.histogram("est.speed_fit_rss", RSS_BUCKETS).observe(rss)
     return SpeedModelFit(
         mode=mode,
         thetas=fit.thetas,

@@ -38,6 +38,7 @@ from repro.faults.crashpoints import (
 )
 from repro.k8s.api import APIServer
 from repro.k8s.objects import PodSpec, pod_name
+from repro.obs.spans import NULL_SPAN_TRACER, SpanTracer
 
 CHECKPOINT_PREFIX = "/checkpoints/"
 #: Write-ahead intent records, one per job with a cycle in flight.
@@ -209,10 +210,18 @@ class JobController:
     """
 
     def __init__(
-        self, api: APIServer, crash_points: Optional[CrashPointInjector] = None
+        self,
+        api: APIServer,
+        crash_points: Optional[CrashPointInjector] = None,
+        spans: Optional[SpanTracer] = None,
     ):
         self.api = api
         self.crash_points = crash_points
+        #: Causal span tracer; the owning control loop shares its own so
+        #: per-job checkpoint/teardown/launch spans nest under "reconcile".
+        #: Spans close in ``finally``, so a crash-point firing mid-cycle
+        #: still emits every open span before the exception escapes.
+        self.spans = spans if spans is not None else NULL_SPAN_TRACER
 
     def _crash(self, point: str, job_id: str) -> None:
         if self.crash_points:
@@ -438,14 +447,18 @@ class JobController:
         # Tear down jobs that should no longer run.
         for job_id in sorted(existing_jobs - set(desired)):
             try:
-                if self.save_checkpoint(job_id, job_progress.get(job_id, 0.0)):
-                    report.checkpoints_saved += 1
-                self._put_intent(
-                    JobIntent.for_teardown(job_id, INTENT_CHECKPOINTED)
-                )
-                self._crash(CRASH_AFTER_CHECKPOINT, job_id)
-                report.pods_deleted += self._teardown_job(job_id)
-                self._crash(CRASH_AFTER_TEARDOWN, job_id)
+                with self.spans.span("checkpoint", job_id=job_id):
+                    if self.save_checkpoint(
+                        job_id, job_progress.get(job_id, 0.0)
+                    ):
+                        report.checkpoints_saved += 1
+                    self._put_intent(
+                        JobIntent.for_teardown(job_id, INTENT_CHECKPOINTED)
+                    )
+                    self._crash(CRASH_AFTER_CHECKPOINT, job_id)
+                with self.spans.span("teardown", job_id=job_id):
+                    report.pods_deleted += self._teardown_job(job_id)
+                    self._crash(CRASH_AFTER_TEARDOWN, job_id)
                 self.clear_intent(job_id)
                 self.release_job(job_id)
             except KVStoreError:
@@ -476,19 +489,21 @@ class JobController:
                     previous_pods = [
                         p for p in self.api.list_pods(job_id=job_id) if p.bound
                     ]
-                    if self.save_checkpoint(
-                        job_id, job_progress.get(job_id, 0.0)
-                    ):
-                        report.checkpoints_saved += 1
-                    self._put_intent(
-                        JobIntent.for_target(target, INTENT_CHECKPOINTED)
-                    )
-                    self._crash(CRASH_AFTER_CHECKPOINT, job_id)
-                    report.pods_deleted += self._teardown_job(job_id)
-                    self._put_intent(
-                        JobIntent.for_target(target, INTENT_TORN_DOWN)
-                    )
-                    self._crash(CRASH_AFTER_TEARDOWN, job_id)
+                    with self.spans.span("checkpoint", job_id=job_id):
+                        if self.save_checkpoint(
+                            job_id, job_progress.get(job_id, 0.0)
+                        ):
+                            report.checkpoints_saved += 1
+                        self._put_intent(
+                            JobIntent.for_target(target, INTENT_CHECKPOINTED)
+                        )
+                        self._crash(CRASH_AFTER_CHECKPOINT, job_id)
+                    with self.spans.span("teardown", job_id=job_id):
+                        report.pods_deleted += self._teardown_job(job_id)
+                        self._put_intent(
+                            JobIntent.for_target(target, INTENT_TORN_DOWN)
+                        )
+                        self._crash(CRASH_AFTER_TEARDOWN, job_id)
                 except KVStoreError:
                     failed.append(job_id)
                     if raise_on_failure:
@@ -497,10 +512,13 @@ class JobController:
                     continue
             try:
                 restored = self.load_checkpoint(job_id) is not None
-                self._put_intent(JobIntent.for_target(target, INTENT_LAUNCHING))
-                created = self._launch_job(target)
-                self._crash(CRASH_AFTER_LAUNCH, job_id)
-                self._put_intent(JobIntent.for_target(target, INTENT_DONE))
+                with self.spans.span("launch", job_id=job_id):
+                    self._put_intent(
+                        JobIntent.for_target(target, INTENT_LAUNCHING)
+                    )
+                    created = self._launch_job(target)
+                    self._crash(CRASH_AFTER_LAUNCH, job_id)
+                    self._put_intent(JobIntent.for_target(target, INTENT_DONE))
             except KVStoreError:
                 if self._rollback_job(job_id, previous_pods):
                     # Rescale abandoned; the job runs its previous pods, so

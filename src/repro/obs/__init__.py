@@ -1,4 +1,4 @@
-"""Structured observability: event tracing, metrics and profiling hooks.
+"""Structured observability: tracing, spans, metrics, estimator telemetry.
 
 The schedulers in this repository make one decision per scheduling
 interval; understanding *why* a decision was made and *where* interval
@@ -7,15 +7,41 @@ here) leans on. This package provides that substrate with zero external
 dependencies:
 
 * :mod:`repro.obs.tracer` -- typed JSONL event tracing
-  (``job_arrived`` .. ``interval_tick``); off by default via
+  (``job_arrived`` .. ``estimator_drift``); off by default via
   :data:`NULL_TRACER`.
-* :mod:`repro.obs.registry` -- counters, gauges, fixed-bucket histograms,
-  ``timer()`` context managers and the per-interval
-  :class:`PhaseProfiler`; off by default via :data:`NULL_REGISTRY`.
+* :mod:`repro.obs.spans` -- causal span tracing over the same stream:
+  each scheduling interval / control-loop step becomes a flame tree
+  (``interval`` -> ``fit`` / ``allocate`` / ``place`` / ``rescale``).
+* :mod:`repro.obs.estimators` -- predicted-vs-actual tracking for the §3
+  online models: per-job and fleet MAPE, signed bias, and a windowed
+  drift detector that flags stale estimators.
+* :mod:`repro.obs.registry` -- counters, gauges, fixed-bucket histograms
+  (with interpolated quantiles), ``timer()`` context managers and the
+  per-interval :class:`PhaseProfiler`; off by default via
+  :data:`NULL_REGISTRY`.
+* :mod:`repro.obs.timeseries` -- a fixed-memory ring-buffer TSDB sampling
+  the registry once per interval, downsampling on overflow.
+* :mod:`repro.obs.export` -- Prometheus text exposition and the
+  ``repro top`` cluster/job table.
 * :mod:`repro.obs.summarize` -- turn a trace file into per-phase time
-  breakdowns and per-job decision timelines.
+  breakdowns, span flame trees, estimator reports and per-job timelines.
 """
 
+from repro.obs.estimators import (
+    NULL_ESTIMATOR_TELEMETRY,
+    SIGNAL_REMAINING,
+    SIGNAL_SPEED,
+    SIGNALS,
+    EstimatorTelemetry,
+    NullEstimatorTelemetry,
+    SignalStats,
+)
+from repro.obs.export import (
+    EXPORT_QUANTILES,
+    render_prometheus,
+    render_top,
+    top_state,
+)
 from repro.obs.registry import (
     DEFAULT_TIME_BUCKETS,
     NULL_PROFILER,
@@ -29,18 +55,38 @@ from repro.obs.registry import (
     PhaseProfiler,
     active_registry,
     install_registry,
+    quantile_from_snapshot,
     use_registry,
+)
+from repro.obs.spans import (
+    NULL_SPAN_TRACER,
+    NullSpanTracer,
+    Span,
+    SpanTracer,
+    span_tracer_for,
 )
 from repro.obs.summarize import (
     decision_timeline,
+    estimator_report,
+    event_type_counts,
     job_timelines,
     phase_breakdown,
+    render_span_flame,
+    span_flame,
+    span_tree,
     summarize_file,
     summarize_trace,
+)
+from repro.obs.timeseries import (
+    DEFAULT_CAPACITY,
+    TimeSeries,
+    TimeSeriesDB,
 )
 from repro.obs.tracer import (
     EVENT_ALLOCATION_DECIDED,
     EVENT_CHECKPOINT_MISSING,
+    EVENT_ESTIMATOR_DRIFT,
+    EVENT_ESTIMATOR_SAMPLE,
     EVENT_INTERVAL_TICK,
     EVENT_JOB_ARRIVED,
     EVENT_JOB_COMPLETED,
@@ -55,6 +101,7 @@ from repro.obs.tracer import (
     EVENT_NODE_RECOVERED,
     EVENT_PLACEMENT_DECIDED,
     EVENT_RESCALE_ROLLED_BACK,
+    EVENT_SPAN,
     EVENT_STRAGGLER_DETECTED,
     EVENT_TASK_CRASHED,
     EVENT_TYPES,
@@ -64,6 +111,7 @@ from repro.obs.tracer import (
     RecordingTracer,
     Tracer,
     read_trace,
+    read_trace_tolerant,
 )
 
 __all__ = [
@@ -74,6 +122,7 @@ __all__ = [
     "JsonlTracer",
     "NULL_TRACER",
     "read_trace",
+    "read_trace_tolerant",
     "EVENT_TYPES",
     "EVENT_JOB_ARRIVED",
     "EVENT_ALLOCATION_DECIDED",
@@ -93,6 +142,23 @@ __all__ = [
     "EVENT_NODE_CORDONED",
     "EVENT_NODE_LEASE_RENEWED",
     "EVENT_INTENT_REPLAYED",
+    "EVENT_SPAN",
+    "EVENT_ESTIMATOR_SAMPLE",
+    "EVENT_ESTIMATOR_DRIFT",
+    # spans
+    "Span",
+    "SpanTracer",
+    "NullSpanTracer",
+    "NULL_SPAN_TRACER",
+    "span_tracer_for",
+    # estimators
+    "EstimatorTelemetry",
+    "NullEstimatorTelemetry",
+    "NULL_ESTIMATOR_TELEMETRY",
+    "SignalStats",
+    "SIGNAL_SPEED",
+    "SIGNAL_REMAINING",
+    "SIGNALS",
     # registry
     "Counter",
     "Gauge",
@@ -104,13 +170,28 @@ __all__ = [
     "active_registry",
     "install_registry",
     "use_registry",
+    "quantile_from_snapshot",
     "PhaseProfiler",
     "NullPhaseProfiler",
     "NULL_PROFILER",
+    # timeseries
+    "TimeSeries",
+    "TimeSeriesDB",
+    "DEFAULT_CAPACITY",
+    # export
+    "render_prometheus",
+    "render_top",
+    "top_state",
+    "EXPORT_QUANTILES",
     # summarize
     "phase_breakdown",
     "job_timelines",
     "decision_timeline",
     "summarize_trace",
     "summarize_file",
+    "event_type_counts",
+    "span_tree",
+    "span_flame",
+    "render_span_flame",
+    "estimator_report",
 ]

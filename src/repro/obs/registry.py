@@ -109,7 +109,13 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Bucket-upper-bound estimate of the q-th quantile (q in [0, 1])."""
+        """Estimate the q-th quantile by linear interpolation within buckets.
+
+        The rank is located in its bucket, then interpolated between the
+        bucket's edges (the overflow bucket interpolates toward the
+        observed maximum). Results are clamped to the observed
+        ``[min, max]`` range, so degenerate bucket choices stay sane.
+        """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError("q must be in [0, 1]")
         if not self.count:
@@ -117,9 +123,16 @@ class Histogram:
         rank = q * self.count
         seen = 0
         for i, bucket_count in enumerate(self.bucket_counts):
+            if not bucket_count:
+                continue
+            if seen + bucket_count >= rank:
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                upper = max(upper, lower)
+                fraction = (rank - seen) / bucket_count
+                value = lower + (upper - lower) * fraction
+                return min(max(value, self.min), self.max)
             seen += bucket_count
-            if seen >= rank and bucket_count:
-                return self.bounds[i] if i < len(self.bounds) else self.max
         return self.max
 
     def snapshot(self) -> Dict:
@@ -139,6 +152,41 @@ class Histogram:
                 )
             ],
         }
+
+
+def quantile_from_snapshot(histogram_snapshot: Dict, q: float) -> float:
+    """:meth:`Histogram.quantile` over a ``snapshot()`` dict.
+
+    Lets the Prometheus exporter (and any offline consumer of a
+    ``--metrics-out`` JSON dump) estimate quantiles without the live
+    :class:`Histogram` object. Uses the same within-bucket linear
+    interpolation, clamped to the recorded ``[min, max]``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError("q must be in [0, 1]")
+    count = histogram_snapshot.get("count", 0)
+    if not count:
+        return 0.0
+    observed_min = histogram_snapshot.get("min")
+    observed_max = histogram_snapshot.get("max")
+    observed_min = 0.0 if observed_min is None else float(observed_min)
+    observed_max = observed_min if observed_max is None else float(observed_max)
+    rank = q * count
+    seen = 0
+    lower = 0.0
+    for bucket in histogram_snapshot.get("buckets", []):
+        bucket_count = bucket["count"]
+        edge = bucket["le"]
+        upper = observed_max if edge == "inf" else float(edge)
+        if bucket_count:
+            if seen + bucket_count >= rank:
+                upper = max(upper, lower)
+                fraction = (rank - seen) / bucket_count
+                value = lower + (upper - lower) * fraction
+                return min(max(value, observed_min), observed_max)
+            seen += bucket_count
+        lower = upper if edge != "inf" else lower
+    return observed_max
 
 
 class _Timer:

@@ -1,0 +1,160 @@
+"""Causal span tracing: the flame-tree half of the observability layer.
+
+The phase profiler (:class:`repro.obs.registry.PhaseProfiler`) answers
+*"where does interval time go on average?"*; spans answer *"what happened
+inside THIS interval, in what order, nested under what?"*. A
+:class:`SpanTracer` maintains a stack of open spans; each ``with
+spans.span("fit"):`` block becomes one timed node with a ``span_id``, its
+parent's ``parent_id`` and a wall-clock ``duration``. Closed spans are
+emitted as ``span`` events on the ordinary JSONL trace stream, so one
+trace file carries both the decision events and the causal tree, and
+:func:`repro.obs.summarize.span_tree` can reconstruct per-interval and
+per-job flame trees offline.
+
+The simulation engine opens an ``interval`` root span per scheduling
+interval with ``fit`` / ``snapshot`` / ``schedule`` (→ ``allocate`` /
+``place``) / ``progress`` / ``rescale`` children; the deployment control
+loop opens a ``step`` root with ``sweep`` / ``snapshot`` / ``schedule`` /
+``reconcile`` (→ per-job ``checkpoint`` / ``teardown`` / ``launch``)
+children, and recovery wraps ``replay_intents``. Spans are closed in a
+``finally`` clause, so a crash-point firing mid-reconcile still emits
+every open span before the exception escapes -- the flame tree of a
+crashed cycle is exactly what an operator wants to see.
+
+Like every ``repro.obs`` sink, the disabled implementation
+(:data:`NULL_SPAN_TRACER`) is falsy and free: ``span()`` returns a shared
+no-op context manager.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.obs.tracer import EVENT_SPAN, NULL_TRACER, Tracer
+
+
+class Span:
+    """One open (then closed) node of the causal tree."""
+
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "start", "duration")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        attrs: dict,
+        start: float,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.duration: Optional[float] = None  # set on close
+
+
+class SpanTracer:
+    """Stack-scoped span creation, emitting ``span`` events on close.
+
+    ``set_time`` pins the logical timestamp (simulation seconds, or the
+    deploy loop's step index) stamped on every span event; wall-clock
+    durations always come from ``time.perf_counter``. The tracer is truthy
+    exactly when its underlying event tracer is, so hot paths can guard
+    with ``if spans:``.
+    """
+
+    def __init__(self, tracer: Tracer):
+        self._tracer = tracer
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self.now = 0.0
+
+    def set_time(self, now: float) -> None:
+        """Pin the logical time stamped on subsequently closed spans."""
+        self.now = float(now)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` at the root."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a child span of the current one for the ``with`` body.
+
+        The span is closed -- and its event emitted -- even when the body
+        raises, so crash-point injections and genuine failures never leak
+        open spans or corrupt the stack.
+        """
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent,
+            name=name,
+            attrs=attrs,
+            start=time.perf_counter(),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.duration = time.perf_counter() - span.start
+            self._stack.pop()
+            self._tracer.emit(
+                EVENT_SPAN,
+                self.now,
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                name=span.name,
+                duration=span.duration,
+                **span.attrs,
+            )
+
+    def __bool__(self) -> bool:
+        return bool(self._tracer)
+
+
+class _NullSpanContext:
+    """Shared no-op ``with`` body for the disabled span tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullSpanTracer(SpanTracer):
+    """Span tracing disabled: every call is a shared no-op, truthiness False."""
+
+    def __init__(self) -> None:
+        super().__init__(NULL_TRACER)
+
+    def set_time(self, now: float) -> None:
+        pass
+
+    def span(self, name: str, **attrs):  # type: ignore[override]
+        return _NULL_SPAN_CONTEXT
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Shared default instance -- hot paths compare against this cheaply.
+NULL_SPAN_TRACER = NullSpanTracer()
+
+
+def span_tracer_for(tracer: Optional[Tracer]) -> SpanTracer:
+    """A live :class:`SpanTracer` over *tracer*, or the shared null one."""
+    if tracer is not None and tracer:
+        return SpanTracer(tracer)
+    return NULL_SPAN_TRACER

@@ -1,13 +1,26 @@
 """Turn a JSONL trace into a human-readable report.
 
-Two views are produced from the same event stream:
+Several views are produced from the same event stream:
 
+* **Event inventory** -- how many events of each type, with anything this
+  build does not recognise collected into an ``unknown`` bucket (traces
+  from newer builds still summarise instead of crashing).
 * **Per-phase time breakdown** -- aggregated from the ``phases`` field of
   ``interval_tick`` events: where does a scheduling interval's wall-clock
-  time go (snapshot, fit, allocate, place, reconcile, progress)?
+  time go (snapshot, fit, allocate, place, reconcile, progress)? Reported
+  with p50/p95/p99 over the per-interval samples, not just the mean.
+* **Span flame tree** -- ``span`` events carry ``span_id``/``parent_id``,
+  so :func:`span_tree` reconstructs each interval's causal tree and
+  :func:`span_flame` aggregates identical paths (``interval > schedule >
+  allocate``) across the whole trace.
+* **Estimator report** -- per-job and fleet speed / loss-curve MAPE and
+  bias recomputed from ``estimator_sample`` events, plus drift events.
 * **Per-job decision timeline** -- every ``job_*`` / ``*_decided`` event
-  for each job in order: when it arrived, what it was granted each
-  interval, when it was rescaled, when it completed.
+  for each job in order.
+
+File reads are *tolerant*: corrupt or truncated JSONL lines are skipped
+and counted, never fatal -- a trace cut short by a crash is precisely the
+one an operator needs to read.
 
 Usage::
 
@@ -21,51 +34,222 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from collections import Counter as TallyCounter
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.tracer import (
     EVENT_ALLOCATION_DECIDED,
+    EVENT_ESTIMATOR_DRIFT,
+    EVENT_ESTIMATOR_SAMPLE,
     EVENT_INTERVAL_TICK,
     EVENT_JOB_ARRIVED,
     EVENT_JOB_COMPLETED,
     EVENT_JOB_RESCALED,
     EVENT_PLACEMENT_DECIDED,
+    EVENT_SPAN,
     EVENT_STRAGGLER_DETECTED,
+    EVENT_TYPES,
     read_trace,
+    read_trace_tolerant,
 )
 from repro.report import format_table
 
 
-def phase_breakdown(events: Sequence[Dict]) -> Dict[str, Dict[str, float]]:
-    """Aggregate ``interval_tick.phases`` into per-phase totals.
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an unsorted sample (q in [0, 1])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
 
-    Returns ``{phase: {count, total, mean, share}}`` where ``share`` is the
-    phase's fraction of all profiled time across the trace.
+
+def event_type_counts(
+    events: Sequence[Dict],
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Tally events by type: ``(known, unknown)`` dicts.
+
+    Event types this build does not declare in ``EVENT_TYPES`` (a trace
+    written by a newer build, or hand-edited) land in the second dict
+    rather than being dropped or crashing the report.
     """
-    totals: Dict[str, List[float]] = {}
+    known: TallyCounter = TallyCounter()
+    unknown: TallyCounter = TallyCounter()
+    for event in events:
+        kind = event.get("event")
+        if kind in EVENT_TYPES:
+            known[kind] += 1
+        else:
+            unknown[str(kind)] += 1
+    return dict(known), dict(unknown)
+
+
+def phase_breakdown(events: Sequence[Dict]) -> Dict[str, Dict[str, float]]:
+    """Aggregate ``interval_tick.phases`` into per-phase statistics.
+
+    Returns ``{phase: {count, total, mean, share, p50, p95, p99}}`` where
+    ``share`` is the phase's fraction of all profiled time across the
+    trace and the percentiles are over per-interval samples (seconds).
+    """
+    samples: Dict[str, List[float]] = {}
     for event in events:
         if event.get("event") != EVENT_INTERVAL_TICK:
             continue
         for phase, seconds in (event.get("phases") or {}).items():
-            stats = totals.setdefault(phase, [0.0, 0.0])
-            stats[0] += 1
-            stats[1] += float(seconds)
-    grand_total = sum(stats[1] for stats in totals.values())
-    return {
-        phase: {
-            "count": stats[0],
-            "total": stats[1],
-            "mean": stats[1] / stats[0] if stats[0] else 0.0,
-            "share": stats[1] / grand_total if grand_total > 0 else 0.0,
+            samples.setdefault(phase, []).append(float(seconds))
+    grand_total = sum(sum(values) for values in samples.values())
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for phase, values in sorted(samples.items()):
+        total = sum(values)
+        breakdown[phase] = {
+            "count": float(len(values)),
+            "total": total,
+            "mean": total / len(values),
+            "share": total / grand_total if grand_total > 0 else 0.0,
+            "p50": _percentile(values, 0.50),
+            "p95": _percentile(values, 0.95),
+            "p99": _percentile(values, 0.99),
         }
-        for phase, stats in sorted(totals.items())
+    return breakdown
+
+
+# -- span flame trees -----------------------------------------------------------
+
+
+def span_tree(events: Sequence[Dict]) -> List[Dict]:
+    """Reconstruct the causal span forest from ``span`` events.
+
+    Returns the root spans (``parent_id`` is null), each a dict with a
+    ``children`` list, in emission order. Because spans are emitted on
+    close (children before parents), the whole stream is buffered first;
+    a span whose parent never closed (the trace was cut mid-interval) is
+    promoted to a root rather than dropped.
+    """
+    nodes: Dict[int, Dict] = {}
+    order: List[int] = []
+    for event in events:
+        if event.get("event") != EVENT_SPAN:
+            continue
+        node = dict(event)
+        node["children"] = []
+        nodes[node["span_id"]] = node
+        order.append(node["span_id"])
+    roots: List[Dict] = []
+    for span_id in order:
+        node = nodes[span_id]
+        parent = node.get("parent_id")
+        if parent is not None and parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def _walk_paths(
+    node: Dict, prefix: str, acc: Dict[str, List[float]]
+) -> None:
+    path = f"{prefix} > {node['name']}" if prefix else node["name"]
+    acc.setdefault(path, []).append(float(node.get("duration", 0.0)))
+    for child in node["children"]:
+        _walk_paths(child, path, acc)
+
+
+def span_flame(events: Sequence[Dict]) -> Dict[str, Dict[str, float]]:
+    """Aggregate span durations by tree path across the whole trace.
+
+    ``{"interval > schedule > allocate": {count, total, mean, p95}}`` --
+    the flame-graph view, merged over every interval.
+    """
+    acc: Dict[str, List[float]] = {}
+    for root in span_tree(events):
+        _walk_paths(root, "", acc)
+    return {
+        path: {
+            "count": float(len(values)),
+            "total": sum(values),
+            "mean": sum(values) / len(values),
+            "p95": _percentile(values, 0.95),
+        }
+        for path, values in acc.items()
+    }
+
+
+def render_span_flame(events: Sequence[Dict]) -> List[str]:
+    """Indented flame-tree lines, deepest paths nested under their parents."""
+    flame = span_flame(events)
+    lines = []
+    for path in sorted(flame, key=lambda p: (p.count(" > "), p)):
+        stats = flame[path]
+        depth = path.count(" > ")
+        name = path.rsplit(" > ", 1)[-1]
+        lines.append(
+            f"{'  ' * depth}{name:<12} x{int(stats['count']):<5} "
+            f"total {stats['total'] * 1e3:8.1f} ms   "
+            f"mean {stats['mean'] * 1e3:7.2f} ms   "
+            f"p95 {stats['p95'] * 1e3:7.2f} ms"
+        )
+    return lines
+
+
+# -- estimator quality ----------------------------------------------------------
+
+
+def estimator_report(events: Sequence[Dict]) -> Dict:
+    """Recompute estimator quality from ``estimator_sample`` events alone.
+
+    Returns ``{"fleet": {signal: {count, mape, bias}}, "jobs": {job_id:
+    {signal: {...}}}, "drift": [drift events]}`` -- the same numbers the
+    live :class:`~repro.obs.estimators.EstimatorTelemetry` maintains, so
+    a trace file is sufficient to audit prediction quality offline.
+    """
+    per_job: Dict[str, Dict[str, List[float]]] = {}
+    fleet: Dict[str, List[float]] = {}
+    drift: List[Dict] = []
+    for event in events:
+        kind = event.get("event")
+        if kind == EVENT_ESTIMATOR_SAMPLE:
+            signal = event.get("signal", "?")
+            error = float(event.get("error", 0.0))
+            fleet.setdefault(signal, []).append(error)
+            per_job.setdefault(event.get("job_id", "?"), {}).setdefault(
+                signal, []
+            ).append(error)
+        elif kind == EVENT_ESTIMATOR_DRIFT:
+            drift.append(event)
+
+    def stats(errors: List[float]) -> Dict[str, float]:
+        return {
+            "count": float(len(errors)),
+            "mape": sum(abs(e) for e in errors) / len(errors),
+            "bias": sum(errors) / len(errors),
+        }
+
+    return {
+        "fleet": {signal: stats(errs) for signal, errs in sorted(fleet.items())},
+        "jobs": {
+            job_id: {signal: stats(errs) for signal, errs in sorted(signals.items())}
+            for job_id, signals in sorted(per_job.items())
+        },
+        "drift": drift,
     }
 
 
 def job_timelines(events: Sequence[Dict]) -> Dict[str, List[Dict]]:
-    """Group per-job events (anything carrying ``job_id``) by job, in order."""
+    """Group per-job events (anything carrying ``job_id``) by job, in order.
+
+    ``span`` and ``estimator_sample`` events are excluded: they carry
+    ``job_id`` but belong to the flame-tree / estimator views, and at one
+    per interval they would drown the decision timeline.
+    """
     timelines: Dict[str, List[Dict]] = {}
     for event in events:
+        if event.get("event") in (EVENT_SPAN, EVENT_ESTIMATOR_SAMPLE):
+            continue
         job_id = event.get("job_id")
         if job_id is not None:
             timelines.setdefault(job_id, []).append(event)
@@ -91,6 +275,11 @@ def _describe(event: Dict) -> str:
         return f"straggler episode(s): {event.get('episodes')}"
     if kind == EVENT_JOB_COMPLETED:
         return f"completed after {event.get('steps', 0):.0f} steps"
+    if kind == EVENT_ESTIMATOR_DRIFT:
+        return (
+            f"estimator drift ({event.get('signal', '?')}): window MAPE "
+            f"{100 * event.get('window_mape', 0.0):.0f}%"
+        )
     return kind
 
 
@@ -103,13 +292,31 @@ def decision_timeline(events: Sequence[Dict], job_id: str) -> List[str]:
 
 
 def summarize_trace(
-    events: Sequence[Dict], max_events_per_job: Optional[int] = 8
+    events: Sequence[Dict],
+    max_events_per_job: Optional[int] = 8,
+    skipped_lines: int = 0,
 ) -> str:
-    """Render the full report: phase breakdown + per-job timelines."""
+    """Render the full report: inventory, phases, spans, estimators, jobs."""
     sections: List[str] = []
 
-    breakdown = phase_breakdown(events)
     sections.append(f"trace summary: {len(events)} events")
+    if skipped_lines:
+        sections.append(
+            f"warning: skipped {skipped_lines} corrupt/truncated line(s)"
+        )
+    known, unknown = event_type_counts(events)
+    if known or unknown:
+        inventory = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(known.items())
+        )
+        sections.append(f"event types: {inventory}")
+        if unknown:
+            unknown_text = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(unknown.items())
+            )
+            sections.append(f"unknown event types: {unknown_text}")
+
+    breakdown = phase_breakdown(events)
     if breakdown:
         rows = [
             [
@@ -117,6 +324,9 @@ def summarize_trace(
                 int(stats["count"]),
                 stats["total"],
                 stats["mean"] * 1e3,
+                stats["p50"] * 1e3,
+                stats["p95"] * 1e3,
+                stats["p99"] * 1e3,
                 100.0 * stats["share"],
             ]
             for phase, stats in sorted(
@@ -127,10 +337,50 @@ def summarize_trace(
         sections.append("per-phase time breakdown:")
         sections.append(
             format_table(
-                ["phase", "intervals", "total (s)", "mean (ms)", "share (%)"],
+                [
+                    "phase", "intervals", "total (s)", "mean (ms)",
+                    "p50 (ms)", "p95 (ms)", "p99 (ms)", "share (%)",
+                ],
                 rows,
             )
         )
+
+    flame_lines = render_span_flame(events)
+    if flame_lines:
+        sections.append("")
+        sections.append("span flame tree (aggregated across intervals):")
+        sections.extend(flame_lines)
+
+    est = estimator_report(events)
+    if est["fleet"]:
+        sections.append("")
+        sections.append("estimator quality (from estimator_sample events):")
+        rows = [
+            [
+                job_id,
+                signal,
+                int(stats["count"]),
+                100.0 * stats["mape"],
+                100.0 * stats["bias"],
+            ]
+            for job_id, signals in [("fleet", est["fleet"])]
+            + list(est["jobs"].items())
+            for signal, stats in signals.items()
+        ]
+        sections.append(
+            format_table(
+                ["job", "signal", "samples", "MAPE (%)", "bias (%)"], rows
+            )
+        )
+        if est["drift"]:
+            sections.append(
+                f"drift events: {len(est['drift'])} "
+                + ", ".join(
+                    f"{d.get('job_id', '?')}/{d.get('signal', '?')}"
+                    f"@t={d.get('time', 0):.0f}"
+                    for d in est["drift"]
+                )
+            )
 
     timelines = job_timelines(events)
     if timelines:
@@ -158,8 +408,11 @@ def summarize_trace(
 
 
 def summarize_file(path: str, max_events_per_job: Optional[int] = 8) -> str:
-    """Read a JSONL trace file and render its report."""
-    return summarize_trace(read_trace(path), max_events_per_job)
+    """Read a JSONL trace file (tolerantly) and render its report."""
+    events, skipped = read_trace_tolerant(path)
+    return summarize_trace(
+        events, max_events_per_job, skipped_lines=skipped
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -174,9 +427,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=8,
         help="truncate each job's timeline to this many events (0 = no limit)",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on corrupt lines instead of skipping them",
+    )
     args = parser.parse_args(argv)
     limit = args.max_events_per_job if args.max_events_per_job > 0 else None
-    print(summarize_file(args.trace, max_events_per_job=limit))
+    if args.strict:
+        print(summarize_trace(read_trace(args.trace), max_events_per_job=limit))
+    else:
+        print(summarize_file(args.trace, max_events_per_job=limit))
     return 0
 
 

@@ -1,0 +1,166 @@
+"""A tiny dependency-free time-series store for metrics history.
+
+The metrics registry answers *"what is the value now?"*; dashboards and
+post-hoc analysis need *"what was it over time?"*. :class:`TimeSeriesDB`
+fills that gap with fixed-memory ring buffers: the engine (or control
+loop) calls :meth:`TimeSeriesDB.sample_registry` once per interval, which
+appends every counter and gauge value -- estimator-error gauges included
+-- under its registry name.
+
+Each series holds at most ``capacity`` points. On overflow it *downsamples*
+instead of dropping history: adjacent pairs are averaged (time and value),
+halving the buffer and doubling the per-point stride, so a series always
+spans its full lifetime at progressively coarser resolution -- old data
+gets blurry, never truncated. Appends are amortised O(1); memory is
+O(capacity) per series, forever.
+
+Queries are by name and closed time range::
+
+    tsdb.query("engine.active_jobs", t0=0.0, t1=86_400.0)
+    tsdb.names()                       # sorted series names
+    tsdb.snapshot()                    # JSON-ready dump of everything
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+
+#: Default per-series capacity: ~2.5 days of 10-minute intervals.
+DEFAULT_CAPACITY = 360
+
+
+class TimeSeries:
+    """One named series: a ring buffer that downsamples on overflow."""
+
+    __slots__ = ("capacity", "stride", "points", "_acc_time", "_acc_value", "_acc_count")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 2 or capacity % 2:
+            raise ConfigurationError("capacity must be an even number >= 2")
+        self.capacity = int(capacity)
+        #: Raw samples aggregated into each stored point (doubles on overflow).
+        self.stride = 1
+        self.points: List[Tuple[float, float]] = []
+        self._acc_time = 0.0
+        self._acc_value = 0.0
+        self._acc_count = 0
+
+    def append(self, time: float, value: float) -> None:
+        """Record one raw sample (times must be fed in increasing order)."""
+        self._acc_time += float(time)
+        self._acc_value += float(value)
+        self._acc_count += 1
+        if self._acc_count < self.stride:
+            return
+        self.points.append(
+            (self._acc_time / self._acc_count, self._acc_value / self._acc_count)
+        )
+        self._acc_time = self._acc_value = 0.0
+        self._acc_count = 0
+        if len(self.points) >= self.capacity:
+            self._downsample()
+
+    def _downsample(self) -> None:
+        """Average adjacent pairs: half the points, twice the stride."""
+        merged = [
+            (
+                (self.points[i][0] + self.points[i + 1][0]) / 2.0,
+                (self.points[i][1] + self.points[i + 1][1]) / 2.0,
+            )
+            for i in range(0, len(self.points) - 1, 2)
+        ]
+        if len(self.points) % 2:
+            merged.append(self.points[-1])
+        self.points = merged
+        self.stride *= 2
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def query(
+        self, t0: Optional[float] = None, t1: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Stored points with ``t0 <= time <= t1`` (both bounds optional)."""
+        lo = float("-inf") if t0 is None else float(t0)
+        hi = float("inf") if t1 is None else float(t1)
+        return [(t, v) for t, v in self.points if lo <= t <= hi]
+
+    @property
+    def latest(self) -> Optional[Tuple[float, float]]:
+        return self.points[-1] if self.points else None
+
+
+class TimeSeriesDB:
+    """Named ring-buffer series, created lazily on first write."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 2 or capacity % 2:
+            raise ConfigurationError("capacity must be an even number >= 2")
+        self.capacity = int(capacity)
+        self._series: Dict[str, TimeSeries] = {}
+
+    def record(self, name: str, time: float, value: float) -> None:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(self.capacity)
+        series.append(time, value)
+
+    def sample_registry(self, registry: MetricsRegistry, time: float) -> int:
+        """Sample every counter and gauge of *registry* at *time*.
+
+        Returns the number of series written. Histograms are summarised by
+        their running count (``<name>.count``) -- buckets belong in the
+        Prometheus exporter, not a per-interval series.
+        """
+        written = 0
+        snapshot = registry.snapshot()
+        if not snapshot:
+            return 0
+        for name, value in snapshot.get("counters", {}).items():
+            self.record(name, time, value)
+            written += 1
+        for name, value in snapshot.get("gauges", {}).items():
+            self.record(name, time, value)
+            written += 1
+        for name, hist in snapshot.get("histograms", {}).items():
+            self.record(f"{name}.count", time, hist["count"])
+            written += 1
+        return written
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            raise ConfigurationError(
+                f"unknown series {name!r}; known: {self.names()}"
+            )
+        return self._series[name]
+
+    def query(
+        self,
+        name: str,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        """Points of series *name* within the closed range ``[t0, t1]``."""
+        return self.series(name).query(t0, t1)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def snapshot(self) -> Dict:
+        """A JSON-ready dump: per-series stride and ``[time, value]`` points."""
+        return {
+            name: {
+                "stride": series.stride,
+                "points": [[t, v] for t, v in series.points],
+            }
+            for name, series in sorted(self._series.items())
+        }

@@ -19,7 +19,7 @@ Three implementations cover every use:
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, TextIO, Union
+from typing import Dict, List, Optional, TextIO, Tuple, Union
 
 from repro.common.errors import ConfigurationError
 
@@ -59,6 +59,15 @@ EVENT_NODE_CORDONED = "node_cordoned"
 EVENT_NODE_LEASE_RENEWED = "node_lease_renewed"
 #: Recovery replayed a write-ahead intent left by a dead controller.
 EVENT_INTENT_REPLAYED = "intent_replayed"
+#: A causal span closed (``repro.obs.spans``): one timed node of the
+#: per-interval flame tree, carrying ``span_id``/``parent_id``/``name``.
+EVENT_SPAN = "span"
+#: One prediction-vs-reality sample from the §3 estimators
+#: (``repro.obs.estimators``): predicted, actual and relative error.
+EVENT_ESTIMATOR_SAMPLE = "estimator_sample"
+#: The windowed estimator error crossed the drift band: the online model
+#: is persistently wrong and a refit (or operator attention) is warranted.
+EVENT_ESTIMATOR_DRIFT = "estimator_drift"
 
 #: Every event type a tracer accepts.
 EVENT_TYPES = frozenset(
@@ -81,6 +90,9 @@ EVENT_TYPES = frozenset(
         EVENT_NODE_CORDONED,
         EVENT_NODE_LEASE_RENEWED,
         EVENT_INTENT_REPLAYED,
+        EVENT_SPAN,
+        EVENT_ESTIMATOR_SAMPLE,
+        EVENT_ESTIMATOR_DRIFT,
     }
 )
 
@@ -184,7 +196,12 @@ class JsonlTracer(Tracer):
 
 
 def read_trace(source: Union[str, TextIO]) -> List[Dict]:
-    """Parse a JSONL trace back into a list of event dicts."""
+    """Parse a JSONL trace back into a list of event dicts.
+
+    Raises :class:`ConfigurationError` on the first malformed line; use
+    :func:`read_trace_tolerant` for traces that may be truncated or
+    corrupted (a crashed writer, a partial download).
+    """
     if isinstance(source, str):
         with open(source, "r", encoding="utf8") as handle:
             return read_trace(handle)
@@ -200,3 +217,34 @@ def read_trace(source: Union[str, TextIO]) -> List[Dict]:
                 f"trace line {lineno} is not valid JSON: {exc}"
             ) from exc
     return events
+
+
+def read_trace_tolerant(
+    source: Union[str, TextIO],
+) -> Tuple[List[Dict], int]:
+    """Parse a JSONL trace, skipping corrupt lines instead of raising.
+
+    Returns ``(events, skipped)`` where ``skipped`` counts the malformed
+    lines (invalid JSON, or JSON that is not an object) that were dropped.
+    A half-written final line -- the usual result of a writer killed
+    mid-flush -- therefore costs one skipped line, not the whole report.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf8") as handle:
+            return read_trace_tolerant(handle)
+    events: List[Dict] = []
+    skipped = 0
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(event, dict):
+            skipped += 1
+            continue
+        events.append(event)
+    return events, skipped

@@ -23,6 +23,7 @@ from repro.obs.registry import (
     MetricsRegistry,
     PhaseProfiler,
 )
+from repro.obs.spans import NULL_SPAN_TRACER, SpanTracer
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.workloads.job import JobSpec
 
@@ -115,12 +116,14 @@ class Scheduler(abc.ABC):
     tracer: Tracer = NULL_TRACER
     metrics: MetricsRegistry = NULL_REGISTRY
     profiler: PhaseProfiler = NULL_PROFILER
+    spans: SpanTracer = NULL_SPAN_TRACER
 
     def instrument(
         self,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         profiler: Optional[PhaseProfiler] = None,
+        spans: Optional[SpanTracer] = None,
     ) -> "Scheduler":
         """Attach observability sinks; returns self for chaining."""
         if tracer is not None:
@@ -129,6 +132,8 @@ class Scheduler(abc.ABC):
             self.metrics = metrics
         if profiler is not None:
             self.profiler = profiler
+        if spans is not None:
+            self.spans = spans
         return self
 
     @abc.abstractmethod

@@ -101,7 +101,9 @@ class CompositeScheduler(Scheduler):
         views = {v.job_id: v for v in jobs}
         # Allocation works against what is actually free: foreign tenants'
         # pods or background reservations may already occupy the cluster.
-        with self.profiler.phase("allocate"):
+        with self.spans.span("allocate", jobs=len(jobs)), self.profiler.phase(
+            "allocate"
+        ):
             allocations: Dict[str, TaskAllocation] = self.allocation_policy(
                 jobs, cluster.total_available, **self.allocation_kwargs
             )
@@ -117,7 +119,9 @@ class CompositeScheduler(Scheduler):
             for job_id, alloc in allocations.items()
             if alloc.workers >= 1 and alloc.ps >= 1
         ]
-        with self.profiler.phase("place"):
+        with self.spans.span("place", requests=len(requests)), self.profiler.phase(
+            "place"
+        ):
             placement = self.placement_policy(cluster, requests)
             layouts = dict(placement.layouts)
             final_allocations = {

@@ -28,6 +28,10 @@ from repro.common.errors import SimulationError
 from repro.common.rand import RandomSource
 from repro.core.allocation import TaskAllocation
 from repro.datastore.hdfs import ChunkStore
+from repro.obs.estimators import (
+    NULL_ESTIMATOR_TELEMETRY,
+    EstimatorTelemetry,
+)
 from repro.obs.registry import (
     NULL_PROFILER,
     MetricsRegistry,
@@ -35,6 +39,8 @@ from repro.obs.registry import (
     active_registry,
     use_registry,
 )
+from repro.obs.spans import span_tracer_for
+from repro.obs.timeseries import TimeSeriesDB
 from repro.faults.config import FaultConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
@@ -107,6 +113,17 @@ class SimConfig:
     #: Seconds of sim time between progress checkpoints; bounds the progress
     #: a crash can destroy. ``None`` checkpoints at every interval boundary.
     checkpoint_interval: Optional[float] = None
+    #: Chaos knob for estimator telemetry: a ``t -> multiplier`` applied to
+    #: every job's ground-truth speed (the hardware suddenly slowing down,
+    #: a noisy neighbour appearing). The online estimators only see the
+    #: perturbed observations, so their predictions go stale and the
+    #: ``repro.obs.estimators`` drift detector should notice. ``None``
+    #: leaves reality untouched.
+    speed_perturbation: Optional[Callable[[float], float]] = None
+    #: Drift-detector window (recent predictions per job and signal) and
+    #: MAPE band for the estimator telemetry (see ``repro.obs.estimators``).
+    estimator_drift_window: int = 6
+    estimator_drift_threshold: float = 0.5
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -121,6 +138,10 @@ class SimConfig:
             raise SimulationError("partition_algorithm must be 'paa' or 'mxnet'")
         if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
             raise SimulationError("checkpoint_interval must be positive or None")
+        if self.estimator_drift_window < 2:
+            raise SimulationError("estimator_drift_window must be >= 2")
+        if self.estimator_drift_threshold <= 0:
+            raise SimulationError("estimator_drift_threshold must be positive")
 
 
 class Simulation:
@@ -135,6 +156,7 @@ class Simulation:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         fault_plan: Optional[FaultPlan] = None,
+        timeseries: Optional[TimeSeriesDB] = None,
     ):
         if not jobs:
             raise SimulationError("need at least one job")
@@ -164,8 +186,27 @@ class Simulation:
             self.profiler = PhaseProfiler(self.metrics)
         else:
             self.profiler = NULL_PROFILER
+        # Causal span tracing (repro.obs.spans): rides on the event tracer,
+        # so it is exactly as on/off as the tracer itself.
+        self.spans = span_tracer_for(self.tracer)
+        # Prediction-quality telemetry (repro.obs.estimators): on whenever
+        # either sink is attached; the null object otherwise.
+        if self.tracer or self.metrics:
+            self.estimators: EstimatorTelemetry = EstimatorTelemetry(
+                tracer=self.tracer,
+                metrics=self.metrics,
+                drift_window=self.config.estimator_drift_window,
+                drift_threshold=self.config.estimator_drift_threshold,
+            )
+        else:
+            self.estimators = NULL_ESTIMATOR_TELEMETRY
+        #: Optional metrics-history sink, sampled once per interval.
+        self.timeseries = timeseries
         self.scheduler.instrument(
-            tracer=self.tracer, metrics=self.metrics, profiler=self.profiler
+            tracer=self.tracer,
+            metrics=self.metrics,
+            profiler=self.profiler,
+            spans=self.spans,
         )
 
     # -- job lifecycle -----------------------------------------------------------
@@ -312,28 +353,39 @@ class Simulation:
         layout,
         now: float,
         nic_shares: Optional[Dict[str, float]] = None,
-    ) -> None:
+    ) -> Optional[float]:
+        """Progress one job through one interval.
+
+        Returns the effective training speed the job actually achieved
+        (after placement, imbalance, perturbation and stragglers), or
+        ``None`` when it did not run -- the observation the estimator
+        telemetry scores the interval's speed prediction against.
+        """
         cfg = self.config
         if allocation is None or layout is None:
             job.note_interval(None, 0.0)
-            return
+            return None
         w, p = allocation.workers, allocation.ps
         overhead = job.scaling_overhead(allocation)
-        if self.tracer and job.started and allocation != job.last_allocation:
-            self.tracer.emit(
-                EVENT_JOB_RESCALED,
-                now,
-                job_id=job.spec.job_id,
-                old=[job.last_allocation.workers, job.last_allocation.ps],
-                new=[w, p],
-                overhead=overhead,
-            )
+        if job.started and allocation != job.last_allocation:
+            with self.spans.span(
+                "rescale", job_id=job.spec.job_id, overhead=overhead
+            ):
+                if self.tracer:
+                    self.tracer.emit(
+                        EVENT_JOB_RESCALED,
+                        now,
+                        job_id=job.spec.job_id,
+                        old=[job.last_allocation.workers, job.last_allocation.ps],
+                        new=[w, p],
+                        overhead=overhead,
+                    )
         if overhead > 0 and job.started:
             self.metrics.counter("engine.rescales").inc()
         run_time = max(cfg.interval - overhead, 0.0)
         job.note_interval(allocation, overhead)
         if run_time <= 0:
-            return
+            return None
 
         imbalance = job.imbalance_factor(p)
         base_speed = job.truth.speed(
@@ -343,6 +395,8 @@ class Simulation:
             imbalance=imbalance,
             bandwidths=nic_shares if cfg.placement_aware else None,
         )
+        if cfg.speed_perturbation is not None:
+            base_speed *= max(cfg.speed_perturbation(now), 0.0)
         episodes = self._injector.sample(w, cfg.interval)
         if episodes:
             if self.tracer:
@@ -361,7 +415,7 @@ class Simulation:
             if plain > 0:
                 base_speed *= degraded / plain
         if base_speed <= 0:
-            return
+            return None
 
         steps_before = job.steps_done
         converged_after = job.advance(run_time, base_speed, workers=w)
@@ -374,6 +428,7 @@ class Simulation:
             )
             noise = 1.0 + self._measure_rng.normal(0.0, cfg.speed_noise_std)
             job.record_speed(p, w, base_speed * max(noise, 0.05))
+        return base_speed
 
     # -- metrics -----------------------------------------------------------------
     def _slot(
@@ -457,92 +512,124 @@ class Simulation:
             if self._faults:
                 self._process_faults(now, active)
 
-            with profiler.phase("fit"):
-                views = [job.view() for job in active.values()]
-            with profiler.phase("snapshot"):
-                work_cluster = self.cluster.snapshot()
-                self._reserve_background(work_cluster, now)
+            spans = self.spans
+            estimators = self.estimators
+            spans.set_time(now)
+            with spans.span("interval", active_jobs=len(active)):
+                with spans.span("fit"), profiler.phase("fit"):
+                    views = [job.view() for job in active.values()]
+                with profiler.phase("snapshot"):
+                    work_cluster = self.cluster.snapshot()
+                    self._reserve_background(work_cluster, now)
+                    if self._faults:
+                        self._block_down_servers(work_cluster)
+                # The scheduler itself times its "allocate" and "place"
+                # sub-phases through the shared profiler and opens matching
+                # child spans (see CompositeScheduler).
+                with profiler.phase("schedule"):
+                    decision = self.scheduler.schedule(work_cluster, views)
+
+                if tracer:
+                    for job_id, alloc in decision.allocations.items():
+                        tracer.emit(
+                            EVENT_ALLOCATION_DECIDED,
+                            now,
+                            job_id=job_id,
+                            workers=alloc.workers,
+                            ps=alloc.ps,
+                        )
+                    for job_id, layout in decision.layouts.items():
+                        tracer.emit(
+                            EVENT_PLACEMENT_DECIDED,
+                            now,
+                            job_id=job_id,
+                            servers=len(layout),
+                            layout={
+                                server: [nw, np_]
+                                for server, (nw, np_) in sorted(layout.items())
+                            },
+                        )
+
+                if estimators:
+                    # What the online models promised for this interval, to
+                    # be scored against what the jobs actually achieve.
+                    views_by_id = {view.spec.job_id: view for view in views}
+                    for job_id, alloc in decision.allocations.items():
+                        view = views_by_id.get(job_id)
+                        if view is None or alloc.workers < 1:
+                            continue
+                        estimators.record_speed_prediction(
+                            job_id, view.speed(alloc.ps, alloc.workers)
+                        )
+                        estimators.record_total_prediction(
+                            job_id,
+                            active[job_id].steps_done + view.remaining_steps,
+                        )
+
+                with spans.span("progress"), profiler.phase("progress"):
+                    nic_shares = self._nic_shares(decision.layouts)
+                    for job_id, job in active.items():
+                        allocation = decision.allocations.get(job_id)
+                        layout = decision.layouts.get(job_id)
+                        achieved = self._run_job_interval(
+                            job, allocation, layout, now, nic_shares
+                        )
+                        if achieved is not None and achieved > 0:
+                            estimators.resolve_speed(job_id, achieved, now)
+
                 if self._faults:
-                    self._block_down_servers(work_cluster)
-            # The scheduler itself times its "allocate" and "place"
-            # sub-phases through the shared profiler (see CompositeScheduler).
-            with profiler.phase("schedule"):
-                decision = self.scheduler.schedule(work_cluster, views)
+                    # Snapshot surviving jobs' progress at the interval end;
+                    # ``checkpoint_interval`` throttles how often, bounding the
+                    # progress a later crash can destroy.
+                    boundary = now + cfg.interval
+                    for job_id, job in active.items():
+                        if job.completed or not job.was_running:
+                            continue
+                        if job.checkpoint_due(boundary, cfg.checkpoint_interval):
+                            job.record_checkpoint(boundary)
+                            self._faults.note_checkpoint(job_id)
+                    self._prev_layouts = {
+                        job_id: dict(layout)
+                        for job_id, layout in decision.layouts.items()
+                    }
 
-            if tracer:
-                for job_id, alloc in decision.allocations.items():
-                    tracer.emit(
-                        EVENT_ALLOCATION_DECIDED,
-                        now,
-                        job_id=job_id,
-                        workers=alloc.workers,
-                        ps=alloc.ps,
-                    )
-                for job_id, layout in decision.layouts.items():
-                    tracer.emit(
-                        EVENT_PLACEMENT_DECIDED,
-                        now,
-                        job_id=job_id,
-                        servers=len(layout),
-                        layout={
-                            server: [nw, np_]
-                            for server, (nw, np_) in sorted(layout.items())
-                        },
-                    )
+                timeline.append(
+                    self._slot(now, active, dict(decision.allocations))
+                )
+                if cfg.record_decisions:
+                    decisions.append(dict(decision.allocations))
 
-            with profiler.phase("progress"):
-                nic_shares = self._nic_shares(decision.layouts)
-                for job_id, job in active.items():
-                    allocation = decision.allocations.get(job_id)
-                    layout = decision.layouts.get(job_id)
-                    self._run_job_interval(
-                        job, allocation, layout, now, nic_shares
-                    )
-
-            if self._faults:
-                # Snapshot surviving jobs' progress at the interval end;
-                # ``checkpoint_interval`` throttles how often, bounding the
-                # progress a later crash can destroy.
-                boundary = now + cfg.interval
-                for job_id, job in active.items():
-                    if job.completed or not job.was_running:
-                        continue
-                    if job.checkpoint_due(boundary, cfg.checkpoint_interval):
-                        job.record_checkpoint(boundary)
-                        self._faults.note_checkpoint(job_id)
-                self._prev_layouts = {
-                    job_id: dict(layout)
-                    for job_id, layout in decision.layouts.items()
-                }
-
-            timeline.append(self._slot(now, active, dict(decision.allocations)))
-            if cfg.record_decisions:
-                decisions.append(dict(decision.allocations))
-
-            for job_id in [j for j, job in active.items() if job.completed]:
-                job = active.pop(job_id)
-                done[job_id] = job
+                for job_id in [j for j, job in active.items() if job.completed]:
+                    job = active.pop(job_id)
+                    done[job_id] = job
+                    if estimators:
+                        # Fig.-6 replay: score every total-steps prediction
+                        # made over the job's life against the true total.
+                        estimators.resolve_totals(job_id, job.steps_done, now)
+                        estimators.discard_job(job_id)
+                    if tracer:
+                        tracer.emit(
+                            EVENT_JOB_COMPLETED,
+                            now,
+                            job_id=job_id,
+                            completion_time=job.completion_time,
+                            steps=job.steps_done,
+                            num_scalings=job.num_scalings,
+                        )
+                    metrics.counter("engine.jobs_completed").inc()
+                metrics.counter("engine.intervals").inc()
+                metrics.gauge("engine.active_jobs").set(float(len(active)))
                 if tracer:
                     tracer.emit(
-                        EVENT_JOB_COMPLETED,
+                        EVENT_INTERVAL_TICK,
                         now,
-                        job_id=job_id,
-                        completion_time=job.completion_time,
-                        steps=job.steps_done,
-                        num_scalings=job.num_scalings,
+                        running_jobs=len(decision.scheduled_jobs),
+                        active_jobs=len(active),
+                        pending_jobs=len(pending),
+                        phases=profiler.interval_timings(),
                     )
-                metrics.counter("engine.jobs_completed").inc()
-            metrics.counter("engine.intervals").inc()
-            metrics.gauge("engine.active_jobs").set(float(len(active)))
-            if tracer:
-                tracer.emit(
-                    EVENT_INTERVAL_TICK,
-                    now,
-                    running_jobs=len(decision.scheduled_jobs),
-                    active_jobs=len(active),
-                    pending_jobs=len(pending),
-                    phases=profiler.interval_timings(),
-                )
+            if self.timeseries is not None:
+                self.timeseries.sample_registry(metrics, now)
             now += cfg.interval
 
         done.update(active)  # unfinished jobs (hit max_time) included as such
@@ -595,13 +682,15 @@ def simulate(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     fault_plan: Optional[FaultPlan] = None,
+    timeseries: Optional[TimeSeriesDB] = None,
 ) -> SimulationResult:
     """Convenience one-shot wrapper around :class:`Simulation`.
 
     ``tracer`` and ``metrics`` attach the :mod:`repro.obs` sinks; both
     default to off (the null tracer / the currently installed registry).
     ``fault_plan`` scripts deterministic faults on top of
-    ``config.faults`` (see :mod:`repro.faults`).
+    ``config.faults`` (see :mod:`repro.faults`); ``timeseries`` attaches
+    a :class:`~repro.obs.timeseries.TimeSeriesDB` sampled every interval.
     """
     return Simulation(
         cluster,
@@ -611,4 +700,5 @@ def simulate(
         tracer=tracer,
         metrics=metrics,
         fault_plan=fault_plan,
+        timeseries=timeseries,
     ).run()

@@ -78,9 +78,9 @@ def fingerprint(result):
 
 
 def trace_fingerprint(tracer):
-    """Events minus the wall-clock profiler timings on interval ticks."""
+    """Events minus wall-clock data (profiler timings, span durations)."""
     return [
-        {k: v for k, v in event.items() if k != "phases"}
+        {k: v for k, v in event.items() if k not in ("phases", "duration")}
         for event in tracer.events
     ]
 

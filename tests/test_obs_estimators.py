@@ -1,0 +1,213 @@
+"""Tests for repro.obs.estimators: MAPE, bias, and drift detection."""
+
+import pytest
+
+from repro.cluster import Cluster, cpu_mem
+from repro.common.errors import ConfigurationError
+from repro.obs import (
+    EVENT_ESTIMATOR_DRIFT,
+    EVENT_ESTIMATOR_SAMPLE,
+    NULL_ESTIMATOR_TELEMETRY,
+    SIGNAL_REMAINING,
+    SIGNAL_SPEED,
+    EstimatorTelemetry,
+    MetricsRegistry,
+    RecordingTracer,
+    SignalStats,
+)
+from repro.schedulers import make_scheduler
+from repro.sim import SimConfig, simulate
+from repro.workloads import uniform_arrivals
+
+
+class TestSignalStats:
+    def test_mape_and_bias(self):
+        stats = SignalStats()
+        stats.add(0.2)
+        stats.add(-0.1)
+        assert stats.count == 2
+        assert abs(stats.mape - 0.15) < 1e-12
+        assert abs(stats.bias - 0.05) < 1e-12
+
+    def test_empty_stats_are_zero(self):
+        stats = SignalStats()
+        assert stats.snapshot() == {"count": 0, "mape": 0.0, "bias": 0.0}
+
+
+class TestSpeedResolution:
+    def test_exact_relative_error(self):
+        tracer = RecordingTracer()
+        telem = EstimatorTelemetry(tracer=tracer)
+        telem.record_speed_prediction("j1", 12.0)
+        error = telem.resolve_speed("j1", 10.0, time=600.0)
+        assert abs(error - 0.2) < 1e-12
+        sample = tracer.of_type(EVENT_ESTIMATOR_SAMPLE)[0]
+        assert sample["signal"] == SIGNAL_SPEED
+        assert sample["predicted"] == 12.0
+        assert sample["actual"] == 10.0
+        fleet = telem.fleet_stats(SIGNAL_SPEED)
+        assert fleet.count == 1
+        assert abs(fleet.mape - 0.2) < 1e-12
+
+    def test_no_pending_prediction_returns_none(self):
+        telem = EstimatorTelemetry()
+        assert telem.resolve_speed("j1", 10.0, time=0.0) is None
+
+    def test_pending_speed_overwritten_not_stacked(self):
+        # A descheduled interval's prediction never ran; only the latest
+        # prediction resolves.
+        telem = EstimatorTelemetry()
+        telem.record_speed_prediction("j1", 100.0)
+        telem.record_speed_prediction("j1", 10.0)
+        error = telem.resolve_speed("j1", 10.0, time=0.0)
+        assert error == 0.0
+        assert telem.fleet_stats(SIGNAL_SPEED).count == 1
+
+    def test_nonpositive_values_ignored(self):
+        telem = EstimatorTelemetry()
+        telem.record_speed_prediction("j1", 0.0)
+        assert telem.resolve_speed("j1", 10.0, time=0.0) is None
+        telem.record_speed_prediction("j1", 5.0)
+        assert telem.resolve_speed("j1", 0.0, time=0.0) is None
+
+
+class TestTotalsResolution:
+    def test_whole_history_resolved_at_completion(self):
+        # Fig.-6 replay: predictions made over the job's lifetime all
+        # score against the one true total.
+        telem = EstimatorTelemetry()
+        for predicted in (80.0, 90.0, 110.0):
+            telem.record_total_prediction("j1", predicted)
+        resolved = telem.resolve_totals("j1", 100.0, time=1800.0)
+        assert resolved == 3
+        fleet = telem.fleet_stats(SIGNAL_REMAINING)
+        assert fleet.count == 3
+        assert abs(fleet.mape - (0.2 + 0.1 + 0.1) / 3) < 1e-12
+        assert abs(fleet.bias - (-0.2 - 0.1 + 0.1) / 3) < 1e-12
+        # Resolving again finds nothing pending.
+        assert telem.resolve_totals("j1", 100.0, time=1800.0) == 0
+
+    def test_per_job_stats_separate_from_fleet(self):
+        telem = EstimatorTelemetry()
+        telem.record_total_prediction("a", 150.0)
+        telem.record_total_prediction("b", 50.0)
+        telem.resolve_totals("a", 100.0, time=0.0)
+        telem.resolve_totals("b", 100.0, time=0.0)
+        assert abs(telem.job_stats("a", SIGNAL_REMAINING).bias - 0.5) < 1e-12
+        assert abs(telem.job_stats("b", SIGNAL_REMAINING).bias + 0.5) < 1e-12
+        assert telem.fleet_stats(SIGNAL_REMAINING).count == 2
+        assert abs(telem.fleet_stats(SIGNAL_REMAINING).bias) < 1e-12
+
+    def test_discard_job_drops_pending(self):
+        telem = EstimatorTelemetry()
+        telem.record_speed_prediction("j1", 5.0)
+        telem.record_total_prediction("j1", 100.0)
+        telem.discard_job("j1")
+        assert telem.resolve_speed("j1", 5.0, time=0.0) is None
+        assert telem.resolve_totals("j1", 100.0, time=0.0) == 0
+
+
+class TestDriftDetection:
+    def make(self, window=3, threshold=0.5):
+        tracer = RecordingTracer()
+        metrics = MetricsRegistry()
+        telem = EstimatorTelemetry(
+            tracer=tracer,
+            metrics=metrics,
+            drift_window=window,
+            drift_threshold=threshold,
+        )
+        return telem, tracer, metrics
+
+    def feed(self, telem, errors, job_id="j1"):
+        for i, rel_error in enumerate(errors):
+            telem.record_speed_prediction(job_id, 10.0 * (1.0 + rel_error))
+            telem.resolve_speed(job_id, 10.0, time=float(i))
+
+    def test_fires_only_on_full_window_above_threshold(self):
+        telem, tracer, metrics = self.make(window=3, threshold=0.5)
+        self.feed(telem, [0.6, 0.6])  # window not yet full
+        assert telem.drift_events == 0
+        self.feed(telem, [0.6])  # third sample: mean 0.6 > 0.5
+        assert telem.drift_events == 1
+        drift = tracer.of_type(EVENT_ESTIMATOR_DRIFT)[0]
+        assert drift["signal"] == SIGNAL_SPEED
+        assert abs(drift["window_mape"] - 0.6) < 1e-9
+        assert metrics.counter("est.refit_suggested").value == 1
+
+    def test_window_clears_after_firing(self):
+        telem, tracer, _ = self.make(window=2, threshold=0.5)
+        self.feed(telem, [0.6, 0.6, 0.6])  # fires at 2, third starts anew
+        assert telem.drift_events == 1
+        self.feed(telem, [0.6])  # refills the window -> second firing
+        assert telem.drift_events == 2
+
+    def test_silent_below_threshold(self):
+        telem, tracer, metrics = self.make(window=3, threshold=0.5)
+        self.feed(telem, [0.1, 0.2, 0.1, 0.3, 0.2, 0.1])
+        assert telem.drift_events == 0
+        assert tracer.of_type(EVENT_ESTIMATOR_DRIFT) == []
+        assert metrics.counter("est.refit_suggested").value == 0
+
+    def test_windows_per_job_and_signal(self):
+        telem, _, _ = self.make(window=2, threshold=0.5)
+        self.feed(telem, [0.9], job_id="a")
+        self.feed(telem, [0.9], job_id="b")
+        assert telem.drift_events == 0  # neither job's window is full
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            EstimatorTelemetry(drift_window=1)
+        with pytest.raises(ConfigurationError):
+            EstimatorTelemetry(drift_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            EstimatorTelemetry().fleet_stats("nope")
+
+
+class TestSnapshot:
+    def test_json_ready_shape(self):
+        telem = EstimatorTelemetry()
+        telem.record_speed_prediction("j1", 12.0)
+        telem.resolve_speed("j1", 10.0, time=0.0)
+        snap = telem.snapshot()
+        assert snap["fleet"][SIGNAL_SPEED]["count"] == 1
+        assert snap["jobs"]["j1"][SIGNAL_SPEED]["count"] == 1
+        assert snap["drift_events"] == 0
+
+
+class TestNullTelemetry:
+    def test_falsy_and_inert(self):
+        assert not NULL_ESTIMATOR_TELEMETRY
+        NULL_ESTIMATOR_TELEMETRY.record_speed_prediction("j", 5.0)
+        NULL_ESTIMATOR_TELEMETRY.record_total_prediction("j", 5.0)
+        assert NULL_ESTIMATOR_TELEMETRY.resolve_speed("j", 5.0, 0.0) is None
+        assert NULL_ESTIMATOR_TELEMETRY.resolve_totals("j", 5.0, 0.0) == 0
+        assert NULL_ESTIMATOR_TELEMETRY.fleet_stats(SIGNAL_SPEED).count == 0
+
+
+class TestEngineDrift:
+    """Acceptance: perturbing ground-truth speed mid-run fires the
+    detector; the same seed unperturbed stays silent."""
+
+    def run(self, perturbation=None):
+        tracer = RecordingTracer()
+        simulate(
+            Cluster.homogeneous(13, cpu_mem(16, 80)),
+            make_scheduler("optimus"),
+            uniform_arrivals(num_jobs=9, window=12000, seed=0),
+            SimConfig(seed=0, speed_perturbation=perturbation),
+            tracer=tracer,
+        )
+        return tracer
+
+    def test_perturbed_run_fires_drift(self):
+        tracer = self.run(lambda t: 0.4 if t >= 6000 else 1.0)
+        drifts = tracer.of_type(EVENT_ESTIMATOR_DRIFT)
+        assert drifts, "perturbed speeds should trip the drift detector"
+        assert all(d["window_mape"] > d["threshold"] for d in drifts)
+
+    def test_unperturbed_run_is_silent(self):
+        tracer = self.run(None)
+        assert tracer.of_type(EVENT_ESTIMATOR_DRIFT) == []
+        # ...but estimator samples still flow.
+        assert tracer.of_type(EVENT_ESTIMATOR_SAMPLE)

@@ -1,5 +1,7 @@
 """Tests for repro.obs.summarize: trace reports and timelines."""
 
+import json
+
 from repro.obs import (
     EVENT_ALLOCATION_DECIDED,
     EVENT_INTERVAL_TICK,
@@ -7,9 +9,11 @@ from repro.obs import (
     EVENT_JOB_COMPLETED,
     JsonlTracer,
     RecordingTracer,
+    read_trace_tolerant,
 )
 from repro.obs.summarize import (
     decision_timeline,
+    event_type_counts,
     job_timelines,
     phase_breakdown,
     summarize_file,
@@ -50,8 +54,56 @@ class TestPhaseBreakdown:
         shares = sum(stats["share"] for stats in breakdown.values())
         assert abs(shares - 1.0) < 1e-9
 
+    def test_percentiles_over_interval_samples(self):
+        breakdown = phase_breakdown(small_trace())
+        # schedule samples are [0.6, 0.2]: p50 interpolates the midpoint.
+        assert abs(breakdown["schedule"]["p50"] - 0.4) < 1e-9
+        assert breakdown["schedule"]["p99"] <= 0.6
+        assert breakdown["fit"]["p50"] == breakdown["fit"]["p95"] == 0.2
+
     def test_empty_trace(self):
         assert phase_breakdown([]) == {}
+
+
+class TestTolerantReads:
+    def test_corrupt_lines_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = {"seq": 0, "time": 0.0, "event": "job_arrived", "job_id": "j1"}
+        path.write_text(
+            json.dumps(good)
+            + "\n{not json at all\n"
+            + '"a bare string"\n'
+            + json.dumps({**good, "seq": 1})[: -10]  # truncated tail
+            + "\n"
+        )
+        events, skipped = read_trace_tolerant(str(path))
+        assert len(events) == 1
+        assert skipped == 3
+
+    def test_summarize_file_reports_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = {"seq": 0, "time": 0.0, "event": "job_arrived", "job_id": "j1"}
+        path.write_text(json.dumps(good) + "\ngarbage\n")
+        text = summarize_file(str(path))
+        assert "skipped 1" in text
+        assert "j1" in text
+
+
+class TestEventInventory:
+    def test_unknown_events_bucketed(self):
+        events = small_trace() + [
+            {"seq": 99, "time": 0.0, "event": "from_the_future", "x": 1},
+            {"seq": 100, "time": 0.0, "event": "from_the_future"},
+        ]
+        known, unknown = event_type_counts(events)
+        assert known["job_arrived"] == 1
+        assert unknown == {"from_the_future": 2}
+        text = summarize_trace(events)
+        assert "unknown event types: from_the_future=2" in text
+
+    def test_no_unknown_section_when_clean(self):
+        text = summarize_trace(small_trace())
+        assert "unknown event types" not in text
 
 
 class TestTimelines:

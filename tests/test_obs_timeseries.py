@@ -1,0 +1,116 @@
+"""Tests for repro.obs.timeseries: ring-buffer series with downsampling."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs import MetricsRegistry, TimeSeries, TimeSeriesDB
+
+
+class TestTimeSeries:
+    def test_appends_below_capacity_are_verbatim(self):
+        series = TimeSeries(capacity=8)
+        for i in range(5):
+            series.append(float(i), float(i) * 10.0)
+        assert series.stride == 1
+        assert series.points == [(float(i), float(i) * 10.0) for i in range(5)]
+        assert series.latest == (4.0, 40.0)
+
+    def test_overflow_halves_points_and_doubles_stride(self):
+        series = TimeSeries(capacity=4)
+        for i in range(4):
+            series.append(float(i), float(i))
+        # Hitting capacity triggers a downsample: adjacent pairs averaged.
+        assert series.stride == 2
+        assert series.points == [(0.5, 0.5), (2.5, 2.5)]
+        # Post-overflow appends aggregate `stride` raw samples per point.
+        series.append(4.0, 4.0)
+        assert len(series) == 2  # accumulating, not yet flushed
+        series.append(5.0, 5.0)
+        assert series.points[-1] == (4.5, 4.5)
+
+    def test_series_spans_full_lifetime_after_many_overflows(self):
+        series = TimeSeries(capacity=8)
+        n = 1000
+        for i in range(n):
+            series.append(float(i), 1.0)
+        assert len(series) < 8
+        assert series.stride > 1
+        first_time, _ = series.points[0]
+        last_time, _ = series.points[-1]
+        # Oldest data blurred, never dropped: the first stored point still
+        # averages over the very first raw samples.
+        assert first_time < n * 0.2
+        assert last_time > n * 0.6
+        assert all(v == 1.0 for _, v in series.points)
+
+    def test_downsampled_values_are_pair_averages(self):
+        series = TimeSeries(capacity=4)
+        for t, v in [(0.0, 10.0), (1.0, 20.0), (2.0, 30.0), (3.0, 40.0)]:
+            series.append(t, v)
+        assert series.points == [(0.5, 15.0), (2.5, 35.0)]
+
+    def test_query_closed_range(self):
+        series = TimeSeries(capacity=16)
+        for i in range(6):
+            series.append(float(i), float(i))
+        assert series.query(1.0, 3.0) == [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        assert series.query(t0=4.0) == [(4.0, 4.0), (5.0, 5.0)]
+        assert series.query(t1=0.0) == [(0.0, 0.0)]
+        assert series.query(10.0, 20.0) == []
+
+    def test_latest_on_empty(self):
+        assert TimeSeries(capacity=4).latest is None
+
+    @pytest.mark.parametrize("capacity", [0, 1, 3, 5, -2])
+    def test_capacity_must_be_even_and_at_least_two(self, capacity):
+        with pytest.raises(ConfigurationError):
+            TimeSeries(capacity=capacity)
+        with pytest.raises(ConfigurationError):
+            TimeSeriesDB(capacity=capacity)
+
+
+class TestTimeSeriesDB:
+    def test_record_creates_series_lazily(self):
+        db = TimeSeriesDB(capacity=8)
+        assert len(db) == 0
+        db.record("engine.active_jobs", 0.0, 3.0)
+        db.record("engine.active_jobs", 600.0, 4.0)
+        db.record("engine.running_jobs", 0.0, 2.0)
+        assert db.names() == ["engine.active_jobs", "engine.running_jobs"]
+        assert "engine.active_jobs" in db
+        assert db.query("engine.active_jobs") == [(0.0, 3.0), (600.0, 4.0)]
+
+    def test_unknown_series_raises(self):
+        db = TimeSeriesDB()
+        with pytest.raises(ConfigurationError):
+            db.series("nope")
+        with pytest.raises(ConfigurationError):
+            db.query("nope")
+
+    def test_sample_registry_covers_all_metric_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs.completed").inc(7)
+        registry.gauge("est.speed_mape").set(0.12)
+        registry.histogram("alloc.seconds", bounds=(0.1, 1.0)).observe(0.5)
+        db = TimeSeriesDB(capacity=8)
+        written = db.sample_registry(registry, time=600.0)
+        assert written == 3
+        assert db.query("jobs.completed") == [(600.0, 7.0)]
+        assert db.query("est.speed_mape") == [(600.0, 0.12)]
+        # Histograms are summarised by their running count.
+        assert db.query("alloc.seconds.count") == [(600.0, 1.0)]
+
+    def test_sample_empty_registry_writes_nothing(self):
+        db = TimeSeriesDB()
+        assert db.sample_registry(MetricsRegistry(), time=0.0) == 0
+        assert len(db) == 0
+
+    def test_snapshot_is_json_ready(self):
+        db = TimeSeriesDB(capacity=4)
+        for i in range(5):
+            db.record("x", float(i), float(i))
+        snap = db.snapshot()
+        assert set(snap) == {"x"}
+        assert snap["x"]["stride"] == 2
+        for point in snap["x"]["points"]:
+            assert isinstance(point, list) and len(point) == 2

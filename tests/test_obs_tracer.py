@@ -42,6 +42,10 @@ class TestEventSchema:
             "node_cordoned",
             "node_lease_renewed",
             "intent_replayed",
+            # second-generation observability: spans + estimator telemetry
+            "span",
+            "estimator_sample",
+            "estimator_drift",
         }
 
     def test_emit_builds_typed_payload(self):
