@@ -1,15 +1,25 @@
-"""Compare a fresh BENCH_smoke.json against the committed baseline.
+"""Compare a fresh benchmark report against its committed baseline.
 
-CI's benchmark-smoke job stashes the committed ``BENCH_smoke.json``,
-reruns ``benchmarks/smoke.py`` on the PR's code, then calls::
+CI's benchmark jobs stash the committed report (``BENCH_smoke.json``,
+``BENCH_scale.json``), rerun the producing benchmark on the PR's code,
+then call::
 
-    python benchmarks/check_regression.py baseline.json BENCH_smoke.json
+    python benchmarks/check_regression.py baseline.json current.json
 
-The check fails (exit 1) when the interval-loop wall time regresses by
-more than ``--max-ratio`` (default 1.3, i.e. +30%) over the baseline.
-Other report fields are printed for context but not gated: wall time is
-the one metric every perf PR here optimises, and a loose 30% band keeps
-runner-to-runner noise from flaking the job.
+Every numeric key the two reports share is gated: the check fails
+(exit 1) when any metric regresses by more than ``--max-ratio`` (default
+1.3, i.e. +30%) over the baseline. Wall times and latencies regress by
+*growing*; throughput-style metrics (``*_per_second``, ``*_rate``,
+``*_throughput``, and explicit names below) regress by *shrinking*, so
+their ratio is inverted before gating. A loose 30% band keeps
+runner-to-runner noise from flaking the job while still catching real
+slowdowns.
+
+A baseline key missing from the current report fails the check outright:
+silently dropping a metric from the report would otherwise remove it
+from the gate forever. Keys only present in the current report are
+listed as informational (they join the gate once the baseline is
+regenerated).
 """
 
 from __future__ import annotations
@@ -18,14 +28,18 @@ import argparse
 import json
 import sys
 
-#: The gated metric and the report fields echoed for context.
-GATED_METRIC = "interval_loop_seconds"
-CONTEXT_METRICS = (
-    "intervals",
-    "allocate_p95_ms",
-    "place_p95_ms",
-    "average_jct_seconds",
-)
+#: Suffixes marking higher-is-better metrics (throughputs).
+HIGHER_IS_BETTER_SUFFIXES = ("_per_second", "_rate", "_throughput")
+
+#: Exact key names that are higher-is-better regardless of suffix.
+HIGHER_IS_BETTER_KEYS = frozenset({"jobs_completed", "placement_cache_hits"})
+
+#: Extra budget multiplier for tail-latency quantiles: a p95 estimated
+#: from a few dozen histogram samples swings several-fold between
+#: otherwise identical runs, so gating it at the wall-time band would
+#: flake CI. It stays gated -- just against a proportionally wider band.
+QUANTILE_SLACK = 4.0
+QUANTILE_SUFFIXES = ("_p95_ms", "_p99_ms")
 
 
 def load(path: str) -> dict:
@@ -33,43 +47,86 @@ def load(path: str) -> dict:
         return json.load(handle)
 
 
+def is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def higher_is_better(key: str) -> bool:
+    return key in HIGHER_IS_BETTER_KEYS or key.endswith(
+        HIGHER_IS_BETTER_SUFFIXES
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed BENCH_smoke.json")
-    parser.add_argument("current", help="freshly produced BENCH_smoke.json")
+    parser.add_argument("baseline", help="committed report JSON")
+    parser.add_argument("current", help="freshly produced report JSON")
     parser.add_argument(
         "--max-ratio",
         type=float,
         default=1.3,
-        help="fail when current/baseline exceeds this (default 1.3 = +30%%)",
+        help="fail when a metric regresses past this (default 1.3 = +30%%)",
     )
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
     current = load(args.current)
-    base_value = float(baseline[GATED_METRIC])
-    cur_value = float(current[GATED_METRIC])
-    if base_value <= 0:
-        print(f"baseline {GATED_METRIC} is {base_value}; nothing to gate")
-        return 0
-    ratio = cur_value / base_value
 
-    print(
-        f"{GATED_METRIC}: baseline {base_value:.4f}s -> current "
-        f"{cur_value:.4f}s (x{ratio:.2f}, limit x{args.max_ratio:.2f})"
-    )
-    for name in CONTEXT_METRICS:
-        if name in baseline or name in current:
-            print(f"  {name}: {baseline.get(name)} -> {current.get(name)}")
+    base_keys = {k for k, v in baseline.items() if is_numeric(v)}
+    cur_keys = {k for k, v in current.items() if is_numeric(v)}
 
-    if ratio > args.max_ratio:
+    missing = sorted(base_keys - cur_keys)
+    if missing:
         print(
-            f"FAIL: interval loop slowed by more than "
-            f"{100 * (args.max_ratio - 1):.0f}%",
+            "FAIL: baseline metrics missing from the current report: "
+            + ", ".join(missing),
+            file=sys.stderr,
+        )
+        print(
+            "(dropping a metric silently removes it from the gate; if the "
+            "removal is intentional, regenerate the committed baseline)",
             file=sys.stderr,
         )
         return 1
-    print("ok: within the regression budget")
+
+    extra = sorted(cur_keys - base_keys)
+    if extra:
+        print(
+            "new metrics not in the baseline (ungated until it is "
+            "regenerated): " + ", ".join(extra)
+        )
+
+    failures = []
+    for key in sorted(base_keys):
+        base_value = float(baseline[key])
+        cur_value = float(current[key])
+        inverted = higher_is_better(key)
+        if base_value == 0.0 or (inverted and cur_value == 0.0):
+            status = "ok" if cur_value == base_value else "ungated (zero)"
+            print(f"  {key}: {base_value:g} -> {cur_value:g} [{status}]")
+            continue
+        ratio = base_value / cur_value if inverted else cur_value / base_value
+        direction = "higher-is-better" if inverted else "lower-is-better"
+        limit = args.max_ratio
+        if key.endswith(QUANTILE_SUFFIXES):
+            limit *= QUANTILE_SLACK
+        verdict = "ok" if ratio <= limit else "REGRESSED"
+        print(
+            f"  {key}: {base_value:g} -> {cur_value:g} "
+            f"(x{ratio:.3f} {direction}, limit x{limit:.2f}) [{verdict}]"
+        )
+        if ratio > limit:
+            failures.append((key, ratio))
+
+    if failures:
+        worst = ", ".join(f"{key} (x{ratio:.2f})" for key, ratio in failures)
+        print(
+            f"FAIL: {len(failures)} metric(s) beyond the regression "
+            f"budget: {worst}",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok: every shared metric within the regression budget")
     return 0
 
 

@@ -53,7 +53,16 @@ SMOKE_OVERRIDES = {
 
 
 def find_producer(module):
-    """The bench's zero-arg producer function (what pedantic would call)."""
+    """The bench's zero-arg producer function (what pedantic would call).
+
+    A module can opt out of discovery by naming its producers explicitly
+    in a ``SMOKE_PRODUCERS`` tuple -- needed when it also exposes zero-arg
+    entry points that must NOT run at smoke time (e.g. the full-scale
+    scenario runner in ``bench_fig12_scalability``).
+    """
+    explicit = getattr(module, "SMOKE_PRODUCERS", None)
+    if explicit is not None:
+        return [getattr(module, name) for name in explicit]
     candidates = []
     for name, obj in vars(module).items():
         if name.startswith(("test_", "_")) or not inspect.isfunction(obj):

@@ -175,6 +175,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             tracer=tracer,
             metrics=registry,
             timeseries=timeseries,
+            engine=args.engine,
         )
     finally:
         if tracer is not None:
@@ -562,6 +563,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--arrivals", choices=("uniform", "poisson", "google"), default="uniform"
     )
     simulate_cmd.add_argument("--seed", type=int, default=0)
+    simulate_cmd.add_argument(
+        "--engine",
+        choices=("tick", "event"),
+        default=None,
+        help="loop core: fixed-tick or event-heap (identical results; "
+        "default honours REPRO_SIM_ENGINE, else tick)",
+    )
     simulate_cmd.add_argument(
         "--estimator", choices=("online", "oracle", "noisy"), default="online"
     )

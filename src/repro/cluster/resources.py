@@ -82,37 +82,55 @@ class ResourceVector(Mapping[str, float]):
         """Resource types with a strictly positive amount."""
         return tuple(self._amounts)
 
+    @classmethod
+    def _from_clean(cls, amounts: Dict[str, float]) -> "ResourceVector":
+        # Arithmetic results are clean by construction (all values > _EPS),
+        # so skip __init__'s per-entry validation -- these paths are hot in
+        # large allocation/placement rounds.
+        vec = object.__new__(cls)
+        vec._amounts = amounts
+        return vec
+
     # -- arithmetic -----------------------------------------------------------
     def __add__(self, other: "ResourceVector") -> "ResourceVector":
         merged = dict(self._amounts)
-        for name, value in other.items():
+        for name, value in other._amounts.items():
             merged[name] = merged.get(name, 0.0) + value
-        return ResourceVector(merged)
+        return ResourceVector._from_clean(merged)
 
     def __sub__(self, other: "ResourceVector") -> "ResourceVector":
         merged = dict(self._amounts)
-        for name, value in other.items():
+        for name, value in other._amounts.items():
             remaining = merged.get(name, 0.0) - value
             if remaining < -1e-6:
                 raise ConfigurationError(
                     f"subtraction would make resource {name!r} negative "
                     f"({merged.get(name, 0.0)} - {value})"
                 )
-            merged[name] = max(remaining, 0.0)
-        return ResourceVector(merged)
+            if remaining > _EPS:
+                merged[name] = remaining
+            else:
+                merged.pop(name, None)
+        return ResourceVector._from_clean(merged)
 
     def __mul__(self, factor: float) -> "ResourceVector":
         factor = float(factor)
         if factor < 0:
             raise ConfigurationError("cannot scale a resource vector negatively")
-        return ResourceVector({k: v * factor for k, v in self._amounts.items()})
+        return ResourceVector._from_clean(
+            {k: nv for k, v in self._amounts.items() if (nv := v * factor) > _EPS}
+        )
 
     __rmul__ = __mul__
 
     # -- comparisons ----------------------------------------------------------
     def fits_within(self, capacity: "ResourceVector", slack: float = 1e-9) -> bool:
         """True when every component is <= the capacity's component."""
-        return all(value <= capacity.get(name) + slack for name, value in self.items())
+        cap = capacity._amounts
+        return all(
+            value <= cap.get(name, 0.0) + slack
+            for name, value in self._amounts.items()
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ResourceVector):

@@ -43,6 +43,9 @@ class Server:
     network_bandwidth: float = 125e6  # 1 GbE in bytes/s
     _used: ResourceVector = field(default_factory=lambda: ZERO, repr=False)
     _tasks: Dict[TaskKey, ResourceVector] = field(default_factory=dict, repr=False)
+    #: Cached ``capacity - used``; recomputed lazily after place/release.
+    #: ResourceVector is immutable, so sharing the cached instance is safe.
+    _available: ResourceVector = field(default=None, repr=False, compare=False)
 
     @property
     def used(self) -> ResourceVector:
@@ -52,7 +55,9 @@ class Server:
     @property
     def available(self) -> ResourceVector:
         """Remaining free capacity."""
-        return self.capacity - self._used
+        if self._available is None:
+            self._available = self.capacity - self._used
+        return self._available
 
     @property
     def task_keys(self) -> Tuple[TaskKey, ...]:
@@ -90,6 +95,7 @@ class Server:
             )
         self._tasks[key] = demand
         self._used = self._used + demand
+        self._available = None
 
     def release(self, key: TaskKey) -> ResourceVector:
         """Free the resources of task *key* and return its demand."""
@@ -98,6 +104,7 @@ class Server:
         except KeyError:
             raise CapacityError(f"task {key} is not placed on {self.name}") from None
         self._used = self._used - demand
+        self._available = None
         return demand
 
     def release_job(self, job_id: str) -> int:

@@ -19,6 +19,7 @@ from repro.core.allocation import (
 from repro.core.convergence import ConvergenceEstimator, ConvergencePrediction
 from repro.core.placement import (
     JobLayout,
+    PlacementCache,
     PlacementRequest,
     PlacementResult,
     place_jobs,
@@ -37,6 +38,7 @@ __all__ = [
     "TaskAllocation",
     "allocate",
     "estimated_time",
+    "PlacementCache",
     "PlacementRequest",
     "PlacementResult",
     "JobLayout",

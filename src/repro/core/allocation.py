@@ -26,7 +26,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.cluster.resources import ResourceVector
 from repro.common.errors import SchedulingError
@@ -120,6 +122,44 @@ def _completion_time(request: AllocationRequest, p: int, w: int) -> float:
     return request.remaining_work / speed
 
 
+class _BatchEvaluator:
+    """Vectorized completion-time evaluation for one request's speed function.
+
+    Candidate ``(p, w)`` configurations are evaluated in a single numpy call
+    when the speed function supports it -- either through a ``predict_many``
+    attribute (fitted models) or by accepting ndarray arguments elementwise.
+    The first failure (exception, or a non-elementwise result shape) flips
+    the evaluator to per-config scalar calls permanently, so arbitrary
+    Python speed functions keep the exact :func:`_safe_speed` semantics.
+    """
+
+    __slots__ = ("request", "_vectorized")
+
+    def __init__(self, request: AllocationRequest) -> None:
+        self.request = request
+        self._vectorized = True
+
+    def completion_times(self, configs: Sequence[Tuple[int, int]]) -> List[float]:
+        request = self.request
+        if self._vectorized and len(configs) > 1:
+            fn = getattr(request.speed, "predict_many", None) or request.speed
+            ps = np.array([c[0] for c in configs], dtype=float)
+            ws = np.array([c[1] for c in configs], dtype=float)
+            try:
+                speeds = np.asarray(fn(ps, ws), dtype=float)
+                if speeds.shape != ps.shape:
+                    raise TypeError("speed function is not elementwise")
+            except Exception:
+                self._vectorized = False
+            else:
+                work = request.remaining_work
+                return [
+                    work / value if value > 0 and value == value else float("inf")
+                    for value in speeds.tolist()
+                ]
+        return [_completion_time(request, p, w) for p, w in configs]
+
+
 def estimated_time(request: AllocationRequest, allocation: TaskAllocation) -> float:
     """Estimated completion time of *request* under *allocation* (seconds)."""
     if allocation.workers < 1 or allocation.ps < 1:
@@ -139,6 +179,36 @@ def _dominant_amount(demand: ResourceVector, capacity: ResourceVector) -> float:
     return share if share > 0 else float("inf")
 
 
+def _gain_from_times(
+    request: AllocationRequest,
+    alloc: TaskAllocation,
+    base: float,
+    t_worker: float,
+    t_ps: float,
+    dom_worker: float,
+    dom_ps: float,
+) -> Tuple[float, str]:
+    """Best marginal gain given precomputed completion times (Eqn 9).
+
+    ``base`` is the completion time under *alloc*; ``t_worker``/``t_ps`` are
+    the times with one more worker / parameter server; ``dom_*`` the
+    capacity-normalised dominant shares of one task of each kind.
+    """
+    gain_worker = -float("inf")
+    gain_ps = -float("inf")
+    if alloc.workers < request.max_workers:
+        if base != float("inf") or t_worker != float("inf"):
+            reduction = (base - t_worker) if base != float("inf") else 0.0
+            gain_worker = reduction / dom_worker
+    if alloc.ps < request.max_ps:
+        if base != float("inf") or t_ps != float("inf"):
+            reduction = (base - t_ps) if base != float("inf") else 0.0
+            gain_ps = reduction / dom_ps
+    if gain_worker >= gain_ps:
+        return gain_worker * request.priority, "worker"
+    return gain_ps * request.priority, "ps"
+
+
 def _marginal_gain(
     request: AllocationRequest,
     alloc: TaskAllocation,
@@ -146,23 +216,17 @@ def _marginal_gain(
 ) -> Tuple[float, str]:
     """Best marginal gain for the job and the task kind achieving it (Eqn 9)."""
     base = _completion_time(request, alloc.ps, alloc.workers)
-    gain_worker = -float("inf")
-    gain_ps = -float("inf")
-    if alloc.workers < request.max_workers:
-        t_next = _completion_time(request, alloc.ps, alloc.workers + 1)
-        if base != float("inf") or t_next != float("inf"):
-            reduction = (base - t_next) if base != float("inf") else 0.0
-            gain_worker = reduction / _dominant_amount(
-                request.worker_demand, capacity
-            )
-    if alloc.ps < request.max_ps:
-        t_next = _completion_time(request, alloc.ps + 1, alloc.workers)
-        if base != float("inf") or t_next != float("inf"):
-            reduction = (base - t_next) if base != float("inf") else 0.0
-            gain_ps = reduction / _dominant_amount(request.ps_demand, capacity)
-    if gain_worker >= gain_ps:
-        return gain_worker * request.priority, "worker"
-    return gain_ps * request.priority, "ps"
+    t_worker = _completion_time(request, alloc.ps, alloc.workers + 1)
+    t_ps = _completion_time(request, alloc.ps + 1, alloc.workers)
+    return _gain_from_times(
+        request,
+        alloc,
+        base,
+        t_worker,
+        t_ps,
+        _dominant_amount(request.worker_demand, capacity),
+        _dominant_amount(request.ps_demand, capacity),
+    )
 
 
 def allocate(
@@ -198,36 +262,75 @@ def allocate(
             raise SchedulingError(f"duplicate job id {request.job_id!r}")
         seen.add(request.job_id)
 
-    used = ResourceVector()
+    # Capacity accounting on plain dicts: ``fits``/``consume`` run once per
+    # heap pop and per starter, so avoiding a ResourceVector allocation per
+    # check matters at fleet scale.
+    used: Dict[str, float] = {}
+    cap = dict(capacity.items())
     allocations: Dict[str, TaskAllocation] = {}
     starved: List[str] = []
     active: Dict[str, AllocationRequest] = {}
 
     def fits(demand: ResourceVector) -> bool:
-        return (used + demand).fits_within(capacity)
+        for name, value in demand.items():
+            if used.get(name, 0.0) + value > cap.get(name, 0.0) + 1e-9:
+                return False
+        return True
+
+    def consume(demand: ResourceVector) -> None:
+        for name, value in demand.items():
+            used[name] = used.get(name, 0.0) + value
 
     # Phase 1: anti-starvation starter allocations.
     for request in requests:
         starter = request.worker_demand + request.ps_demand
         if fits(starter):
-            used = used + starter
+            consume(starter)
             allocations[request.job_id] = TaskAllocation(workers=1, ps=1)
             active[request.job_id] = request
         else:
             starved.append(request.job_id)
 
-    # Phase 2: greedy marginal-gain grants through a lazy max-heap.
+    # Phase 2: greedy marginal-gain grants through a lazy max-heap. Heap
+    # entries carry the candidate completion times, so a grant reuses the
+    # already-evaluated time as the job's new base instead of re-deriving
+    # it -- only the two +1-task candidates of the granted job are
+    # recomputed (in one vectorized call when the speed function allows).
     counter = itertools.count()
     versions: Dict[str, int] = {job_id: 0 for job_id in active}
-    heap: List[Tuple[float, int, str, str, int]] = []
+    heap: List[Tuple[float, int, str, str, int, float, float]] = []
+    evaluators = {job_id: _BatchEvaluator(req) for job_id, req in active.items()}
+    dominants = {
+        job_id: (
+            _dominant_amount(req.worker_demand, capacity),
+            _dominant_amount(req.ps_demand, capacity),
+        )
+        for job_id, req in active.items()
+    }
+    base_times: Dict[str, float] = {}
 
     def push(job_id: str) -> None:
         request = active[job_id]
-        gain, kind = _marginal_gain(request, allocations[job_id], capacity)
+        alloc = allocations[job_id]
+        base = base_times[job_id]
+        t_worker, t_ps = evaluators[job_id].completion_times(
+            [(alloc.ps, alloc.workers + 1), (alloc.ps + 1, alloc.workers)]
+        )
+        dom_worker, dom_ps = dominants[job_id]
+        gain, kind = _gain_from_times(
+            request, alloc, base, t_worker, t_ps, dom_worker, dom_ps
+        )
         if gain > 0 and gain != float("inf"):
-            heapq.heappush(heap, (-gain, next(counter), job_id, kind, versions[job_id]))
+            heapq.heappush(
+                heap,
+                (-gain, next(counter), job_id, kind, versions[job_id], t_worker, t_ps),
+            )
 
     for job_id in active:
+        alloc = allocations[job_id]
+        base_times[job_id] = evaluators[job_id].completion_times(
+            [(alloc.ps, alloc.workers)]
+        )[0]
         push(job_id)
 
     granted = 0
@@ -235,7 +338,7 @@ def allocate(
     grant_log: List[Grant] = []
     limit = max_total_tasks if max_total_tasks is not None else 10_000_000
     while heap:
-        neg_gain, _, job_id, kind, version = heapq.heappop(heap)
+        neg_gain, _, job_id, kind, version, t_worker, t_ps = heapq.heappop(heap)
         if versions[job_id] != version:
             continue  # stale entry
         request = active[job_id]
@@ -250,11 +353,13 @@ def allocate(
                 kind, demand = "worker", other
             else:
                 continue  # job can't grow; others may still fit
-        used = used + demand
+        consume(demand)
         if kind == "worker":
             alloc = TaskAllocation(alloc.workers + 1, alloc.ps)
+            base_times[job_id] = t_worker
         else:
             alloc = TaskAllocation(alloc.workers, alloc.ps + 1)
+            base_times[job_id] = t_ps
         allocations[job_id] = alloc
         versions[job_id] += 1
         granted += 1
@@ -274,7 +379,6 @@ def allocate(
 
     if not heap and granted < limit:
         # Heap drained: either gains went non-positive or nothing else fit.
-        remaining = capacity - used
         smallest = min(
             (
                 min(
@@ -302,6 +406,6 @@ def allocate(
         allocations=allocations,
         starved=tuple(starved),
         stop_reason=stop_reason,
-        leftover=capacity - used,
+        leftover=capacity - ResourceVector(used),
         grants=tuple(grant_log),
     )

@@ -66,6 +66,85 @@ class PlacementResult:
         return len(self.layouts.get(job_id, {}))
 
 
+#: Cache key: the placement-relevant fingerprint of one request.
+_CacheKey = Tuple[int, int, ResourceVector, ResourceVector]
+
+
+class PlacementCache:
+    """Memo of layouts for jobs whose allocation did not change (§4.2).
+
+    Between scheduling points most jobs keep their task counts, so their
+    Theorem-1 layouts can be replayed instead of re-derived. A cached
+    layout is only trusted after re-validation against the live cluster
+    (every server must still exist and fit the job's share), and the whole
+    cache is dropped on node cordon/crash/recovery events from the faults
+    layer -- a changed server set shifts the most-available-first ranking
+    that fresh placement would see.
+
+    The cache changes placement *outcomes* (a replayed layout occupies
+    servers that fresh placement might have assigned differently), so it is
+    strictly opt-in: schedulers only consult it when explicitly constructed
+    with one.
+    """
+
+    def __init__(self) -> None:
+        self._layouts: Dict[str, Tuple[_CacheKey, JobLayout]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def _key(request: "PlacementRequest") -> _CacheKey:
+        return (
+            request.workers,
+            request.ps,
+            request.worker_demand,
+            request.ps_demand,
+        )
+
+    def __len__(self) -> int:
+        return len(self._layouts)
+
+    def lookup(self, request: "PlacementRequest") -> Optional[JobLayout]:
+        """The cached layout for *request*, or ``None`` on a changed allocation."""
+        entry = self._layouts.get(request.job_id)
+        if entry is None or entry[0] != self._key(request):
+            return None
+        return entry[1]
+
+    def store(self, request: "PlacementRequest", layout: JobLayout) -> None:
+        self._layouts[request.job_id] = (self._key(request), dict(layout))
+
+    def forget_job(self, job_id: str) -> None:
+        self._layouts.pop(job_id, None)
+
+    def invalidate_all(self) -> None:
+        """Drop every entry (node failed/recovered: the server set changed)."""
+        if self._layouts:
+            self.invalidations += len(self._layouts)
+            self._layouts.clear()
+
+    def validate(self, cluster: Cluster, request: "PlacementRequest",
+                 layout: JobLayout) -> bool:
+        """True when *layout* can be replayed onto *cluster* right now."""
+        demand_cache: Dict[Tuple[int, int], ResourceVector] = {}
+        for server_name, counts in layout.items():
+            try:
+                server = cluster.server(server_name)
+            except Exception:
+                return False
+            demand = demand_cache.get(counts)
+            if demand is None:
+                n_workers, n_ps = counts
+                demand = (
+                    request.worker_demand * n_workers + request.ps_demand * n_ps
+                )
+                demand_cache[counts] = demand
+            if not server.can_fit(demand):
+                return False
+        return True
+
+
 def split_evenly(count: int, buckets: int) -> List[int]:
     """Spread *count* items over *buckets* as evenly as possible.
 
@@ -90,8 +169,16 @@ def _even_layout(
     # should not also receive an extra parameter server.
     ps_counts = list(reversed(ps_counts))
     layout: JobLayout = {}
+    # Only a handful of (n_workers, n_ps) pairs occur (base and base+1 of
+    # each), so memoise the combined demand instead of rebuilding it per
+    # server -- layout attempts dominate large placement rounds.
+    demand_cache: Dict[Tuple[int, int], ResourceVector] = {}
     for server, n_workers, n_ps in zip(servers, worker_counts, ps_counts):
-        demand = request.worker_demand * n_workers + request.ps_demand * n_ps
+        counts = (n_workers, n_ps)
+        demand = demand_cache.get(counts)
+        if demand is None:
+            demand = request.worker_demand * n_workers + request.ps_demand * n_ps
+            demand_cache[counts] = demand
         if not server.can_fit(demand):
             return None
         if n_workers or n_ps:
@@ -190,11 +277,14 @@ def place_jobs(
     """
     import heapq
 
-    pending = list(requests)
+    # Pair each request with its (memoised) total demand -- the property
+    # rebuilds the vector on every access, and the round below needs it in
+    # the sort key, the aggregate precheck, and the candidate-growth loop.
+    pending = [(request, request.total_demand) for request in requests]
     if sort_jobs:
         capacity = cluster.total_capacity
         pending.sort(
-            key=lambda r: (r.total_demand.dominant_share(capacity), r.job_id)
+            key=lambda pair: (pair[1].dominant_share(capacity), pair[0].job_id)
         )
 
     layouts: Dict[str, JobLayout] = {}
@@ -212,11 +302,11 @@ def place_jobs(
     # within a round), so it can be rejected without touching the heap.
     drain_slots: Dict[ResourceVector, int] = {}
 
-    for request in pending:
+    for request, total_demand in pending:
         # Cheap aggregate precheck: a job whose demand exceeds the whole
         # cluster's free capacity would otherwise drain the entire heap
         # before failing.
-        if not request.total_demand.fits_within(remaining_total):
+        if not total_demand.fits_within(remaining_total):
             unplaced.append(request.job_id)
             continue
         # Per-server slot bound: an optimistic count of how many of this
@@ -250,7 +340,7 @@ def place_jobs(
             )
 
         selected: List[Server] = []
-        aggregate = ResourceVector()
+        aggregate: Dict[str, float] = {}
         slots = 0
         layout: Optional[JobLayout] = None
         # Draw servers most-available-first, growing the candidate set k by
@@ -267,10 +357,12 @@ def place_jobs(
                 heapq.heappush(heap, (_server_rank(server), name))
                 continue  # stale entry: reinsert with its current rank
             selected.append(server)
-            aggregate = aggregate + server.available
+            for res_name, value in server.available.items():
+                aggregate[res_name] = aggregate.get(res_name, 0.0) + value
             slots += slot_bound(server)
-            if slots < total_tasks or not request.total_demand.fits_within(
-                aggregate
+            if slots < total_tasks or not all(
+                value <= aggregate.get(res_name, 0.0) + 1e-9
+                for res_name, value in total_demand.items()
             ):
                 continue  # need more servers even optimistically
             k = len(selected)
@@ -285,7 +377,7 @@ def place_jobs(
         if layout is not None:
             _apply_layout(cluster, request, layout)
             layouts[request.job_id] = layout
-            remaining_total = remaining_total - request.total_demand
+            remaining_total = remaining_total - total_demand
         else:
             unplaced.append(request.job_id)
             if not heap:  # full drain: remember this shape's slot ceiling

@@ -119,7 +119,26 @@ class SpeedEstimator:
         """A frozen ``f(p, w)`` closure over the *current* fit.
 
         The allocator evaluates the speed function many times inside one
-        scheduling interval; freezing avoids refit churn mid-decision.
+        scheduling interval; freezing avoids refit churn mid-decision. The
+        returned callable also exposes ``predict_many`` so the allocator's
+        batch evaluator can score candidate configurations in one numpy
+        call instead of per-config Python calls.
         """
-        fit = self.fit()
-        return fit.predict
+        return _FrozenSpeedFn(self.fit())
+
+
+class _FrozenSpeedFn:
+    """A fitted speed function frozen at one point in time.
+
+    Callable like the plain ``fit.predict`` bound method it replaces, with
+    the fit's vectorized ``predict_many`` carried along for batch scoring.
+    """
+
+    __slots__ = ("fit", "predict_many")
+
+    def __init__(self, fit) -> None:
+        self.fit = fit
+        self.predict_many = fit.predict_many
+
+    def __call__(self, p: int, w: int) -> float:
+        return self.fit.predict(p, w)

@@ -82,6 +82,35 @@ class SpeedModelFit:
             return w / seconds
         return 1.0 / seconds
 
+    def predict_many(self, ps: np.ndarray, ws: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`predict` over parallel arrays of configurations.
+
+        Where :meth:`predict` raises (``p``/``w`` < 1, or a degenerate
+        non-positive step time) this returns 0.0 instead, which downstream
+        defensive consumers (:func:`repro.core.allocation._safe_speed`) map
+        to the same "unusable configuration" outcome. The arithmetic is
+        kept term-by-term identical to :func:`_design_row` + ``np.dot`` so
+        batch and scalar predictions agree bitwise.
+        """
+        ps = np.asarray(ps, dtype=float)
+        ws = np.asarray(ws, dtype=float)
+        th = self.thetas
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            if self.mode == MODE_ASYNC:
+                seconds = th[0] + th[1] * (ws / ps) + th[2] * ws + th[3] * ps
+                speed = ws / seconds
+            else:
+                seconds = (
+                    th[0] * (self.global_batch / ws)
+                    + th[1]
+                    + th[2] * (ws / ps)
+                    + th[3] * ws
+                    + th[4] * ps
+                )
+                speed = 1.0 / seconds
+            usable = (ps >= 1) & (ws >= 1) & (seconds > 0)
+            return np.where(usable, speed, 0.0)
+
 
 def fit_speed_model(
     samples: Sequence[SpeedSample],

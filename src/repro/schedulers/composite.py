@@ -12,7 +12,12 @@ from typing import Dict, Sequence
 from repro.cluster.cluster import Cluster
 from repro.common.errors import SchedulingError
 from repro.core.allocation import TaskAllocation
-from repro.core.placement import PlacementRequest
+from repro.core.placement import (
+    JobLayout,
+    PlacementCache,
+    PlacementRequest,
+    _apply_layout,
+)
 from repro.schedulers.base import JobView, Scheduler, SchedulingDecision
 from repro.schedulers.policies import ALLOCATION_POLICIES, PLACEMENT_POLICIES
 
@@ -29,6 +34,13 @@ class CompositeScheduler(Scheduler):
     allocation_kwargs:
         Extra keyword arguments forwarded to the allocation policy (e.g.
         ``priority_factor`` for Optimus).
+    placement_cache:
+        Opt-in layout memo (see :class:`~repro.core.placement.PlacementCache`):
+        jobs whose allocation did not change between scheduling points
+        replay their previous layout (after re-validation against the live
+        cluster) instead of re-deriving it. Node crash/recovery events
+        reported through :meth:`notify_node_events` drop the cache. Off by
+        default because replayed layouts can differ from fresh placement.
     """
 
     def __init__(
@@ -37,6 +49,7 @@ class CompositeScheduler(Scheduler):
         placement: str,
         name: str = None,
         rescale_threshold: float = 0.0,
+        placement_cache: bool = False,
         **allocation_kwargs,
     ):
         if rescale_threshold < 0:
@@ -55,7 +68,13 @@ class CompositeScheduler(Scheduler):
         self.placement_policy = PLACEMENT_POLICIES[placement]
         self.allocation_kwargs = allocation_kwargs
         self.rescale_threshold = float(rescale_threshold)
+        self.placement_cache = PlacementCache() if placement_cache else None
         self.name = name or f"{allocation}+{placement}"
+
+    def notify_node_events(self, failed=(), recovered=()) -> None:
+        if self.placement_cache is not None and (failed or recovered):
+            self.placement_cache.invalidate_all()
+            self.metrics.counter("placement.cache_invalidations").inc()
 
     def _apply_rescale_hysteresis(
         self,
@@ -122,8 +141,35 @@ class CompositeScheduler(Scheduler):
         with self.spans.span("place", requests=len(requests)), self.profiler.phase(
             "place"
         ):
-            placement = self.placement_policy(cluster, requests)
-            layouts = dict(placement.layouts)
+            cache = self.placement_cache
+            layouts: Dict[str, JobLayout] = {}
+            fresh = requests
+            if cache is not None:
+                # Replay validated layouts for unchanged allocations; they
+                # occupy the cluster first, so fresh placement packs the
+                # remaining jobs around them.
+                fresh = []
+                hits = 0
+                for request in requests:
+                    cached = cache.lookup(request)
+                    if cached is not None and cache.validate(
+                        cluster, request, cached
+                    ):
+                        _apply_layout(cluster, request, cached)
+                        layouts[request.job_id] = cached
+                        hits += 1
+                    else:
+                        fresh.append(request)
+                cache.hits += hits
+                cache.misses += len(fresh)
+                if hits:
+                    self.metrics.counter("placement.cache_hits").inc(float(hits))
+                if fresh:
+                    self.metrics.counter("placement.cache_misses").inc(
+                        float(len(fresh))
+                    )
+            placement = self.placement_policy(cluster, fresh)
+            layouts.update(placement.layouts)
             final_allocations = {
                 job_id: alloc
                 for job_id, alloc in allocations.items()
@@ -135,16 +181,28 @@ class CompositeScheduler(Scheduler):
             # would starve large jobs indefinitely under a persistent load),
             # shrink its task counts and retry until it fits or even (1, 1)
             # is rejected.
+            # Capacity only shrinks while this loop runs, so once a (1, 1)
+            # request of some demand shape has been rejected, every later
+            # job with the same shape must be rejected too -- skip its
+            # retries outright (thousands of unplaced jobs share a handful
+            # of shapes at fleet scale).
+            hopeless_shapes = set()
             for job_id in placement.unplaced:
                 alloc = allocations[job_id]
                 workers, ps = alloc.workers, alloc.ps
+                shape = (
+                    views[job_id].spec.worker_demand,
+                    views[job_id].spec.ps_demand,
+                )
+                if shape in hopeless_shapes:
+                    continue
                 while True:
                     retry = PlacementRequest(
                         job_id=job_id,
                         workers=workers,
                         ps=ps,
-                        worker_demand=views[job_id].spec.worker_demand,
-                        ps_demand=views[job_id].spec.ps_demand,
+                        worker_demand=shape[0],
+                        ps_demand=shape[1],
                     )
                     result = self.placement_policy(cluster, [retry])
                     if job_id in result.layouts:
@@ -152,9 +210,26 @@ class CompositeScheduler(Scheduler):
                         final_allocations[job_id] = TaskAllocation(workers, ps)
                         break
                     if (workers, ps) == (1, 1):
+                        hopeless_shapes.add(shape)
                         break  # genuinely no room; paused (§4.2)
                     workers = max(1, workers // 2)
                     ps = max(1, ps // 2)
+            if cache is not None:
+                for job_id, layout in layouts.items():
+                    alloc = final_allocations[job_id]
+                    cache.store(
+                        PlacementRequest(
+                            job_id=job_id,
+                            workers=alloc.workers,
+                            ps=alloc.ps,
+                            worker_demand=views[job_id].spec.worker_demand,
+                            ps_demand=views[job_id].spec.ps_demand,
+                        ),
+                        layout,
+                    )
+                for job_id in allocations:
+                    if job_id not in layouts:
+                        cache.forget_job(job_id)
         decision = SchedulingDecision(
             allocations=final_allocations, layouts=layouts
         )
@@ -173,6 +248,7 @@ class OptimusScheduler(CompositeScheduler):
         self,
         priority_factor: float = 1.0,
         rescale_threshold: float = 0.0,
+        placement_cache: bool = False,
         name: str = "optimus",
     ):
         super().__init__(
@@ -180,6 +256,7 @@ class OptimusScheduler(CompositeScheduler):
             "optimus",
             name=name,
             rescale_threshold=rescale_threshold,
+            placement_cache=placement_cache,
             priority_factor=priority_factor,
         )
 

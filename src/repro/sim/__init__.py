@@ -6,7 +6,15 @@ from repro.sim.background import (
     diurnal_load,
     step_load,
 )
-from repro.sim.engine import SimConfig, Simulation, simulate
+from repro.sim.engine import (
+    ENGINES,
+    default_engine,
+    SimConfig,
+    Simulation,
+    simulate,
+    simulation_for,
+)
+from repro.sim.events import EventDrivenSimulation
 from repro.sim.experiment import (
     SchedulerStats,
     compare_schedulers,
@@ -34,9 +42,13 @@ __all__ = [
     "constant_load",
     "diurnal_load",
     "step_load",
+    "ENGINES",
+    "default_engine",
     "SimConfig",
     "Simulation",
+    "EventDrivenSimulation",
     "simulate",
+    "simulation_for",
     "SimulationResult",
     "JobRecord",
     "TimeSlot",

@@ -20,6 +20,7 @@ configurations). This engine is that simulator:
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -272,6 +273,12 @@ class Simulation:
                     up_at=outage.up_at,
                 )
             metrics.counter("faults.node_failures").inc()
+        if newly_failed or update.recovered:
+            # Let schedulers with cluster-shaped state (placement caches)
+            # react to the changed server set before this interval's round.
+            self.scheduler.notify_node_events(
+                failed=sorted(newly_failed), recovered=list(update.recovered)
+            )
 
         for job_id, job in active.items():
             if not job.was_running or job.completed:
@@ -474,164 +481,211 @@ class Simulation:
         with use_registry(self.metrics):
             return self._run()
 
+    def _admit_one(self, spec: JobSpec, now: float, active: Dict[str, RuntimeJob]) -> None:
+        """Admit one job at scheduling boundary *now* (shared by both engines)."""
+        active[spec.job_id] = self._admit(spec)
+        if self.tracer:
+            self.tracer.emit(
+                EVENT_JOB_ARRIVED,
+                now,
+                job_id=spec.job_id,
+                model=spec.model_name,
+                mode=spec.mode,
+                arrival_time=spec.arrival_time,
+            )
+        self.metrics.counter("engine.jobs_admitted").inc()
+
     def _run(self) -> SimulationResult:
         cfg = self.config
-        tracer = self.tracer
-        metrics = self.metrics
         profiler = self.profiler
-        pending: List[JobSpec] = list(self.specs)
+        specs = self.specs
+        next_idx = 0
         active: Dict[str, RuntimeJob] = {}
         done: Dict[str, RuntimeJob] = {}
         timeline: List[TimeSlot] = []
         decisions: List[Dict[str, TaskAllocation]] = []
         now = 0.0
 
-        while (pending or active) and now <= cfg.max_time:
+        while (next_idx < len(specs) or active) and now <= cfg.max_time:
             profiler.begin_interval()
-            while pending and pending[0].arrival_time <= now:
-                spec = pending.pop(0)
-                active[spec.job_id] = self._admit(spec)
-                if tracer:
-                    tracer.emit(
-                        EVENT_JOB_ARRIVED,
-                        now,
-                        job_id=spec.job_id,
-                        model=spec.model_name,
-                        mode=spec.mode,
-                        arrival_time=spec.arrival_time,
-                    )
-                metrics.counter("engine.jobs_admitted").inc()
+            while next_idx < len(specs) and specs[next_idx].arrival_time <= now:
+                self._admit_one(specs[next_idx], now, active)
+                next_idx += 1
 
             if not active:
                 # Idle cluster: fast-forward to the boundary after the next
                 # arrival instead of spinning through empty intervals.
-                next_arrival = pending[0].arrival_time
+                next_arrival = specs[next_idx].arrival_time
                 now = math.ceil(next_arrival / cfg.interval) * cfg.interval
                 continue
 
-            if self._faults:
-                self._process_faults(now, active)
-
-            spans = self.spans
-            estimators = self.estimators
-            spans.set_time(now)
-            with spans.span("interval", active_jobs=len(active)):
-                with spans.span("fit"), profiler.phase("fit"):
-                    views = [job.view() for job in active.values()]
-                with profiler.phase("snapshot"):
-                    work_cluster = self.cluster.snapshot()
-                    self._reserve_background(work_cluster, now)
-                    if self._faults:
-                        self._block_down_servers(work_cluster)
-                # The scheduler itself times its "allocate" and "place"
-                # sub-phases through the shared profiler and opens matching
-                # child spans (see CompositeScheduler).
-                with profiler.phase("schedule"):
-                    decision = self.scheduler.schedule(work_cluster, views)
-
-                if tracer:
-                    for job_id, alloc in decision.allocations.items():
-                        tracer.emit(
-                            EVENT_ALLOCATION_DECIDED,
-                            now,
-                            job_id=job_id,
-                            workers=alloc.workers,
-                            ps=alloc.ps,
-                        )
-                    for job_id, layout in decision.layouts.items():
-                        tracer.emit(
-                            EVENT_PLACEMENT_DECIDED,
-                            now,
-                            job_id=job_id,
-                            servers=len(layout),
-                            layout={
-                                server: [nw, np_]
-                                for server, (nw, np_) in sorted(layout.items())
-                            },
-                        )
-
-                if estimators:
-                    # What the online models promised for this interval, to
-                    # be scored against what the jobs actually achieve.
-                    views_by_id = {view.spec.job_id: view for view in views}
-                    for job_id, alloc in decision.allocations.items():
-                        view = views_by_id.get(job_id)
-                        if view is None or alloc.workers < 1:
-                            continue
-                        estimators.record_speed_prediction(
-                            job_id, view.speed(alloc.ps, alloc.workers)
-                        )
-                        estimators.record_total_prediction(
-                            job_id,
-                            active[job_id].steps_done + view.remaining_steps,
-                        )
-
-                with spans.span("progress"), profiler.phase("progress"):
-                    nic_shares = self._nic_shares(decision.layouts)
-                    for job_id, job in active.items():
-                        allocation = decision.allocations.get(job_id)
-                        layout = decision.layouts.get(job_id)
-                        achieved = self._run_job_interval(
-                            job, allocation, layout, now, nic_shares
-                        )
-                        if achieved is not None and achieved > 0:
-                            estimators.resolve_speed(job_id, achieved, now)
-
-                if self._faults:
-                    # Snapshot surviving jobs' progress at the interval end;
-                    # ``checkpoint_interval`` throttles how often, bounding the
-                    # progress a later crash can destroy.
-                    boundary = now + cfg.interval
-                    for job_id, job in active.items():
-                        if job.completed or not job.was_running:
-                            continue
-                        if job.checkpoint_due(boundary, cfg.checkpoint_interval):
-                            job.record_checkpoint(boundary)
-                            self._faults.note_checkpoint(job_id)
-                    self._prev_layouts = {
-                        job_id: dict(layout)
-                        for job_id, layout in decision.layouts.items()
-                    }
-
-                timeline.append(
-                    self._slot(now, active, dict(decision.allocations))
-                )
-                if cfg.record_decisions:
-                    decisions.append(dict(decision.allocations))
-
-                for job_id in [j for j, job in active.items() if job.completed]:
-                    job = active.pop(job_id)
-                    done[job_id] = job
-                    if estimators:
-                        # Fig.-6 replay: score every total-steps prediction
-                        # made over the job's life against the true total.
-                        estimators.resolve_totals(job_id, job.steps_done, now)
-                        estimators.discard_job(job_id)
-                    if tracer:
-                        tracer.emit(
-                            EVENT_JOB_COMPLETED,
-                            now,
-                            job_id=job_id,
-                            completion_time=job.completion_time,
-                            steps=job.steps_done,
-                            num_scalings=job.num_scalings,
-                        )
-                    metrics.counter("engine.jobs_completed").inc()
-                metrics.counter("engine.intervals").inc()
-                metrics.gauge("engine.active_jobs").set(float(len(active)))
-                if tracer:
-                    tracer.emit(
-                        EVENT_INTERVAL_TICK,
-                        now,
-                        running_jobs=len(decision.scheduled_jobs),
-                        active_jobs=len(active),
-                        pending_jobs=len(pending),
-                        phases=profiler.interval_timings(),
-                    )
-            if self.timeseries is not None:
-                self.timeseries.sample_registry(metrics, now)
+            self._process_interval(
+                now, active, done, timeline, decisions, len(specs) - next_idx
+            )
             now += cfg.interval
 
+        return self._finalize(active, done, specs[next_idx:], timeline, decisions)
+
+    def _process_interval(
+        self,
+        now: float,
+        active: Dict[str, RuntimeJob],
+        done: Dict[str, RuntimeJob],
+        timeline: List[TimeSlot],
+        decisions: List[Dict[str, TaskAllocation]],
+        pending_count: int,
+    ) -> Optional[Dict[str, float]]:
+        """Run one scheduling interval starting at *now*.
+
+        This is the engine-agnostic interval body: the tick loop calls it at
+        every boundary with active jobs, the event engine from its schedule
+        events. Returns projected completion times (absolute seconds) for
+        the jobs whose speed was predicted this interval when estimator
+        telemetry is attached, else ``None`` -- the event engine turns those
+        into completion-probe events.
+        """
+        cfg = self.config
+        tracer = self.tracer
+        metrics = self.metrics
+        profiler = self.profiler
+
+        if self._faults:
+            self._process_faults(now, active)
+
+        predictions: Optional[Dict[str, float]] = None
+        spans = self.spans
+        estimators = self.estimators
+        spans.set_time(now)
+        with spans.span("interval", active_jobs=len(active)):
+            with spans.span("fit"), profiler.phase("fit"):
+                views = [job.view() for job in active.values()]
+            with profiler.phase("snapshot"):
+                work_cluster = self.cluster.snapshot()
+                self._reserve_background(work_cluster, now)
+                if self._faults:
+                    self._block_down_servers(work_cluster)
+            # The scheduler itself times its "allocate" and "place"
+            # sub-phases through the shared profiler and opens matching
+            # child spans (see CompositeScheduler).
+            with profiler.phase("schedule"):
+                decision = self.scheduler.schedule(work_cluster, views)
+
+            if tracer:
+                for job_id, alloc in decision.allocations.items():
+                    tracer.emit(
+                        EVENT_ALLOCATION_DECIDED,
+                        now,
+                        job_id=job_id,
+                        workers=alloc.workers,
+                        ps=alloc.ps,
+                    )
+                for job_id, layout in decision.layouts.items():
+                    tracer.emit(
+                        EVENT_PLACEMENT_DECIDED,
+                        now,
+                        job_id=job_id,
+                        servers=len(layout),
+                        layout={
+                            server: [nw, np_]
+                            for server, (nw, np_) in sorted(layout.items())
+                        },
+                    )
+
+            if estimators:
+                # What the online models promised for this interval, to
+                # be scored against what the jobs actually achieve.
+                predictions = {}
+                views_by_id = {view.spec.job_id: view for view in views}
+                for job_id, alloc in decision.allocations.items():
+                    view = views_by_id.get(job_id)
+                    if view is None or alloc.workers < 1:
+                        continue
+                    speed_pred = view.speed(alloc.ps, alloc.workers)
+                    estimators.record_speed_prediction(job_id, speed_pred)
+                    estimators.record_total_prediction(
+                        job_id,
+                        active[job_id].steps_done + view.remaining_steps,
+                    )
+                    if speed_pred and speed_pred > 0:
+                        predictions[job_id] = (
+                            now + view.remaining_steps / speed_pred
+                        )
+
+            with spans.span("progress"), profiler.phase("progress"):
+                nic_shares = self._nic_shares(decision.layouts)
+                for job_id, job in active.items():
+                    allocation = decision.allocations.get(job_id)
+                    layout = decision.layouts.get(job_id)
+                    achieved = self._run_job_interval(
+                        job, allocation, layout, now, nic_shares
+                    )
+                    if achieved is not None and achieved > 0:
+                        estimators.resolve_speed(job_id, achieved, now)
+
+            if self._faults:
+                # Snapshot surviving jobs' progress at the interval end;
+                # ``checkpoint_interval`` throttles how often, bounding the
+                # progress a later crash can destroy.
+                boundary = now + cfg.interval
+                for job_id, job in active.items():
+                    if job.completed or not job.was_running:
+                        continue
+                    if job.checkpoint_due(boundary, cfg.checkpoint_interval):
+                        job.record_checkpoint(boundary)
+                        self._faults.note_checkpoint(job_id)
+                self._prev_layouts = {
+                    job_id: dict(layout)
+                    for job_id, layout in decision.layouts.items()
+                }
+
+            timeline.append(
+                self._slot(now, active, dict(decision.allocations))
+            )
+            if cfg.record_decisions:
+                decisions.append(dict(decision.allocations))
+
+            for job_id in [j for j, job in active.items() if job.completed]:
+                job = active.pop(job_id)
+                done[job_id] = job
+                if estimators:
+                    # Fig.-6 replay: score every total-steps prediction
+                    # made over the job's life against the true total.
+                    estimators.resolve_totals(job_id, job.steps_done, now)
+                    estimators.discard_job(job_id)
+                if tracer:
+                    tracer.emit(
+                        EVENT_JOB_COMPLETED,
+                        now,
+                        job_id=job_id,
+                        completion_time=job.completion_time,
+                        steps=job.steps_done,
+                        num_scalings=job.num_scalings,
+                    )
+                metrics.counter("engine.jobs_completed").inc()
+            metrics.counter("engine.intervals").inc()
+            metrics.gauge("engine.active_jobs").set(float(len(active)))
+            if tracer:
+                tracer.emit(
+                    EVENT_INTERVAL_TICK,
+                    now,
+                    running_jobs=len(decision.scheduled_jobs),
+                    active_jobs=len(active),
+                    pending_jobs=pending_count,
+                    phases=profiler.interval_timings(),
+                )
+        if self.timeseries is not None:
+            self.timeseries.sample_registry(metrics, now)
+        return predictions
+
+    def _finalize(
+        self,
+        active: Dict[str, RuntimeJob],
+        done: Dict[str, RuntimeJob],
+        never_admitted: Sequence[JobSpec],
+        timeline: List[TimeSlot],
+        decisions: List[Dict[str, TaskAllocation]],
+    ) -> SimulationResult:
+        cfg = self.config
         done.update(active)  # unfinished jobs (hit max_time) included as such
         records = {
             job_id: JobRecord(
@@ -650,7 +704,7 @@ class Simulation:
             for job_id, job in done.items()
         }
         # Jobs never admitted (arrival beyond max_time) count as unfinished.
-        for spec in pending:
+        for spec in never_admitted:
             records[spec.job_id] = JobRecord(
                 job_id=spec.job_id,
                 model=spec.profile.name,
@@ -674,6 +728,45 @@ class Simulation:
         )
 
 
+#: The selectable engine cores: the fixed-tick loop above and the
+#: event-heap core of :mod:`repro.sim.events`. Both produce bit-identical
+#: results on the same trace (see ``tests/test_sim_events.py``).
+ENGINES = ("tick", "event")
+
+
+def default_engine() -> str:
+    """The engine :func:`simulate` uses when none is named.
+
+    Normally ``"tick"``; the ``REPRO_SIM_ENGINE`` environment variable
+    overrides it, which is how CI's nightly lane re-runs the whole
+    fault/chaos suite on the event core without touching every call site.
+    """
+    engine = os.environ.get("REPRO_SIM_ENGINE", "tick")
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"REPRO_SIM_ENGINE must be one of {ENGINES}, got {engine!r}"
+        )
+    return engine
+
+
+def simulation_for(
+    engine: str,
+    cluster: Cluster,
+    scheduler: Scheduler,
+    jobs: Sequence[JobSpec],
+    config: Optional[SimConfig] = None,
+    **kwargs,
+) -> Simulation:
+    """Build a :class:`Simulation` for the named engine core."""
+    if engine not in ENGINES:
+        raise SimulationError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "event":
+        from repro.sim.events import EventDrivenSimulation
+
+        return EventDrivenSimulation(cluster, scheduler, jobs, config, **kwargs)
+    return Simulation(cluster, scheduler, jobs, config, **kwargs)
+
+
 def simulate(
     cluster: Cluster,
     scheduler: Scheduler,
@@ -683,6 +776,7 @@ def simulate(
     metrics: Optional[MetricsRegistry] = None,
     fault_plan: Optional[FaultPlan] = None,
     timeseries: Optional[TimeSeriesDB] = None,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """Convenience one-shot wrapper around :class:`Simulation`.
 
@@ -691,8 +785,13 @@ def simulate(
     ``fault_plan`` scripts deterministic faults on top of
     ``config.faults`` (see :mod:`repro.faults`); ``timeseries`` attaches
     a :class:`~repro.obs.timeseries.TimeSeriesDB` sampled every interval.
+    ``engine`` selects the loop core: ``"tick"`` (fixed-interval loop) or
+    ``"event"`` (the :mod:`repro.sim.events` heap core; same results,
+    sparse timelines cost nothing). ``None`` means :func:`default_engine`
+    (``"tick"`` unless ``REPRO_SIM_ENGINE`` says otherwise).
     """
-    return Simulation(
+    return simulation_for(
+        engine if engine is not None else default_engine(),
         cluster,
         scheduler,
         jobs,

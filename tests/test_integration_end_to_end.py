@@ -10,6 +10,8 @@ from repro.schedulers import JobView, make_scheduler
 from repro.sim import SimConfig, simulate
 from repro.workloads import StepTimeModel, make_job, uniform_arrivals
 
+pytestmark = pytest.mark.slow  # full-pipeline sims; nightly lane
+
 
 def cluster():
     return Cluster.homogeneous(13, cpu_mem(16, 80))

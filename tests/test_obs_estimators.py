@@ -185,6 +185,7 @@ class TestNullTelemetry:
         assert NULL_ESTIMATOR_TELEMETRY.fleet_stats(SIGNAL_SPEED).count == 0
 
 
+@pytest.mark.slow
 class TestEngineDrift:
     """Acceptance: perturbing ground-truth speed mid-run fires the
     detector; the same seed unperturbed stays silent."""
