@@ -28,8 +28,16 @@ import argparse
 import json
 import sys
 
-#: Suffixes marking higher-is-better metrics (throughputs).
-HIGHER_IS_BETTER_SUFFIXES = ("_per_second", "_rate", "_throughput")
+#: Suffixes marking higher-is-better metrics (throughputs, plus the
+#: arena gate's fairness/utilisation/completion-count columns).
+HIGHER_IS_BETTER_SUFFIXES = (
+    "_per_second",
+    "_rate",
+    "_throughput",
+    "_fairness",
+    "_utilization",
+    "_finished",
+)
 
 #: Exact key names that are higher-is-better regardless of suffix.
 HIGHER_IS_BETTER_KEYS = frozenset({"jobs_completed", "placement_cache_hits"})

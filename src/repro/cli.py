@@ -2,7 +2,8 @@
 
 Subcommands:
 
-* ``compare`` -- run the Fig-11 style scheduler comparison.
+* ``arena`` -- race registered policies head-to-head on one seeded trace.
+* ``compare`` -- run the Fig-11 style scheduler comparison (arena alias).
 * ``simulate`` -- run one full simulation and dump metrics (optionally JSON).
 * ``scalability`` -- time a scheduling round at cluster scale (Fig 12).
 * ``trace`` -- summarise a JSONL event trace written by ``--trace-out``.
@@ -28,10 +29,10 @@ from repro.report import bar_chart, format_table, result_to_json, sparkline
 from repro.sim import (
     SimConfig,
     StragglerConfig,
-    compare_schedulers,
     constant_load,
     diurnal_load,
-    format_comparison,
+    format_arena,
+    run_arena,
     simulate,
 )
 from repro.workloads import (
@@ -493,24 +494,71 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
+def _cmd_arena(args: argparse.Namespace) -> int:
+    from repro.common.errors import ReproError
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    jobs = _build_workload(args)
+
     def cluster_factory() -> Cluster:
         return Cluster.homogeneous(args.servers, cpu_mem(16, 80))
 
-    def workload(repeat: int):
-        return uniform_arrivals(
-            num_jobs=args.jobs, window=args.window, seed=args.seed + repeat
-        )
-
     config = SimConfig(seed=args.seed, estimator_mode=args.estimator)
-    stats = compare_schedulers(
-        cluster_factory,
-        args.schedulers,
-        workload,
-        config=config,
-        repeats=args.repeats,
-    )
-    print(format_comparison(stats, baseline=args.schedulers[0]))
+    try:
+        report = run_arena(
+            policies,
+            cluster_factory,
+            jobs,
+            config=config,
+            engine=args.engine,
+            baseline=args.baseline,
+        )
+    except ReproError as exc:
+        # Unknown policy names / bad baselines are usage errors, not
+        # tracebacks: the registry's message already lists alternatives.
+        print(f"arena: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote report to {args.output}", file=sys.stderr)
+    if args.gate_output:
+        with open(args.gate_output, "w") as handle:
+            json.dump(report.gate_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote gate metrics to {args.gate_output}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_arena(report))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Fig.-11 style comparison: a thin alias of the arena runner.
+
+    Each repeat races all schedulers on its own seeded workload (the
+    paper's methodology of averaging reruns is preserved by printing one
+    head-to-head table per repeat).
+    """
+
+    def cluster_factory() -> Cluster:
+        return Cluster.homogeneous(args.servers, cpu_mem(16, 80))
+
+    for repeat in range(args.repeats):
+        seed = args.seed + repeat
+        jobs = uniform_arrivals(
+            num_jobs=args.jobs, window=args.window, seed=seed
+        )
+        report = run_arena(
+            args.schedulers,
+            cluster_factory,
+            jobs,
+            config=SimConfig(seed=seed, estimator_mode=args.estimator),
+            baseline=args.schedulers[0],
+        )
+        if args.repeats > 1:
+            print(f"# repeat {repeat} (seed {seed})")
+        print(format_arena(report))
     return 0
 
 
@@ -555,7 +603,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument(
         "--trace", help="replay a workload trace file instead of generating one"
     )
-    simulate_cmd.add_argument("--scheduler", default="optimus")
+    simulate_cmd.add_argument(
+        "--scheduler",
+        "--policy",
+        dest="scheduler",
+        default=None,
+        help="registered policy name or '<alloc>+<place>' hybrid "
+        "(default honours REPRO_POLICY, else optimus)",
+    )
     simulate_cmd.add_argument("--jobs", type=int, default=9)
     simulate_cmd.add_argument("--servers", type=int, default=13)
     simulate_cmd.add_argument("--window", type=float, default=12_000.0)
@@ -700,7 +755,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scalability.set_defaults(func=_cmd_scalability)
 
-    compare = sub.add_parser("compare", help="run a scheduler comparison")
+    arena = sub.add_parser(
+        "arena",
+        help="race registered policies head-to-head on one seeded trace",
+    )
+    arena.add_argument(
+        "--policies",
+        default="optimus,goodput,oasis,drf",
+        help="comma-separated registered policy names (or alloc+place hybrids)",
+    )
+    arena.add_argument(
+        "--baseline",
+        default=None,
+        help="policy the ratios are normalised to (default: first policy)",
+    )
+    arena.add_argument("--jobs", type=int, default=9)
+    arena.add_argument("--servers", type=int, default=13)
+    arena.add_argument("--window", type=float, default=12_000.0)
+    arena.add_argument(
+        "--arrivals", choices=("uniform", "poisson", "google"), default="uniform"
+    )
+    arena.add_argument("--seed", type=int, default=42)
+    arena.add_argument(
+        "--trace", help="replay a workload trace file instead of generating one"
+    )
+    arena.add_argument(
+        "--engine",
+        choices=("tick", "event"),
+        default=None,
+        help="loop core (default honours REPRO_SIM_ENGINE, else tick)",
+    )
+    arena.add_argument(
+        "--estimator", choices=("online", "oracle", "noisy"), default="online"
+    )
+    arena.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    arena.add_argument(
+        "--output", metavar="FILE", help="write the full JSON report to FILE"
+    )
+    arena.add_argument(
+        "--gate-output",
+        metavar="FILE",
+        help="write flat gate metrics (benchmarks/check_regression.py format)",
+    )
+    arena.set_defaults(func=_cmd_arena)
+
+    compare = sub.add_parser(
+        "compare", help="run a scheduler comparison (arena alias)"
+    )
     compare.add_argument(
         "--schedulers",
         nargs="+",

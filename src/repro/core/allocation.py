@@ -160,6 +160,41 @@ class _BatchEvaluator:
         return [_completion_time(request, p, w) for p, w in configs]
 
 
+class WeightedSpeed:
+    """A speed function scaled by an elementwise ``weight(p, w)`` factor.
+
+    Policies that rank configurations by something other than raw speed
+    (e.g. the Pollux-style goodput allocator, which discounts speed by
+    statistical efficiency) wrap the fitted speed function in one of these
+    and feed it straight to :func:`allocate`. The wrapper preserves the
+    vectorized fast path: when the base function (or its ``predict_many``)
+    accepts ndarrays, so does this one, so :class:`_BatchEvaluator` still
+    scores both +1-task candidates of a grant in a single numpy call.
+
+    ``weight`` must accept scalars *and* ndarrays elementwise and return
+    strictly finite values; non-positive products simply make the
+    configuration unattractive (``_safe_speed`` maps them to 0).
+    """
+
+    __slots__ = ("base", "weight")
+
+    def __init__(self, base: SpeedFn, weight: Callable) -> None:
+        self.base = base
+        self.weight = weight
+
+    def __call__(self, p: int, w: int) -> float:
+        return self.base(p, w) * self.weight(p, w)
+
+    def predict_many(self, ps, ws):
+        fn = getattr(self.base, "predict_many", None) or self.base
+        speeds = np.asarray(fn(ps, ws), dtype=float)
+        if speeds.shape != np.shape(ps):
+            # Same contract as _BatchEvaluator: a non-elementwise base flips
+            # the evaluator to per-config scalar calls.
+            raise TypeError("base speed function is not elementwise")
+        return speeds * self.weight(ps, ws)
+
+
 def estimated_time(request: AllocationRequest, allocation: TaskAllocation) -> float:
     """Estimated completion time of *request* under *allocation* (seconds)."""
     if allocation.workers < 1 or allocation.ps < 1:

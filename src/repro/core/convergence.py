@@ -192,6 +192,33 @@ class ConvergenceEstimator:
         self._history.append(prediction)
         return prediction.remaining_steps
 
+    def marginal_efficiency(self, current_step: Optional[float] = None) -> float:
+        """Predicted worth of the job's *next* step, in (0, 1].
+
+        The Eqn-1 curve ``l(k) = 1/(b0*k + b1) + b2`` has marginal loss
+        decrease ``|l'(k)| = b0/(b0*k + b1)^2``; dividing by the phase-start
+        value ``|l'(0)|`` gives ``(b1/(b0*k + b1))^2`` -- 1.0 at the start
+        of the current training phase, decaying as the job converges. This
+        is the loss-curve half of a Pollux-style statistical-efficiency
+        term (:meth:`repro.schedulers.base.JobView.statistical_efficiency`
+        adds the asynchrony discount). Returns 1.0 when no reliable fit is
+        available yet, so young jobs are never penalised by missing data.
+        """
+        if not self.can_fit:
+            return 1.0
+        try:
+            fit = self.fit()
+        except FittingError:
+            return 1.0
+        if current_step is None:
+            current_step = self.latest_step
+        k = max(float(current_step) - self._step_offset, 0.0)
+        denom = fit.beta0 * k + fit.beta1
+        if fit.beta0 <= 0 or fit.beta1 <= 0 or denom <= 0:
+            return 1.0
+        ratio = fit.beta1 / denom
+        return min(max(ratio * ratio, 0.0), 1.0)
+
     @property
     def prediction_history(self) -> Tuple[ConvergencePrediction, ...]:
         return tuple(self._history)

@@ -1,4 +1,9 @@
-"""Schedulers: Optimus, the paper's baselines and ablation hybrids."""
+"""Schedulers: Optimus, the paper's baselines and ablation hybrids.
+
+Importing this package loads every built-in policy module, so all of them
+self-register with :mod:`repro.schedulers.registry` -- resolve them by name
+through :func:`make_scheduler` / :func:`resolve_scheduler`.
+"""
 
 from repro.schedulers.base import JobView, Scheduler, SchedulingDecision
 from repro.schedulers.composite import (
@@ -6,9 +11,12 @@ from repro.schedulers.composite import (
     DRFScheduler,
     FIFOScheduler,
     OptimusScheduler,
+    SRTFScheduler,
     TetrisScheduler,
     make_scheduler,
 )
+from repro.schedulers.goodput import GoodputScheduler, goodput_allocation
+from repro.schedulers.oasis import OasisScheduler, oasis_allocation
 from repro.schedulers.policies import (
     ALLOCATION_POLICIES,
     PLACEMENT_POLICIES,
@@ -21,6 +29,20 @@ from repro.schedulers.policies import (
     srtf_allocation,
     tetris_allocation,
 )
+from repro.schedulers.registry import (
+    ALLOCATION_REGISTRY,
+    PLACEMENT_REGISTRY,
+    POLICY_ENV_VAR,
+    SCHEDULER_REGISTRY,
+    available_policies,
+    default_policy,
+    register_allocation,
+    register_placement,
+    register_scheduler,
+    resolve_allocation,
+    resolve_placement,
+    resolve_scheduler,
+)
 
 __all__ = [
     "Scheduler",
@@ -31,14 +53,31 @@ __all__ = [
     "DRFScheduler",
     "TetrisScheduler",
     "FIFOScheduler",
+    "SRTFScheduler",
+    "GoodputScheduler",
+    "OasisScheduler",
     "make_scheduler",
     "ALLOCATION_POLICIES",
     "PLACEMENT_POLICIES",
+    "ALLOCATION_REGISTRY",
+    "PLACEMENT_REGISTRY",
+    "SCHEDULER_REGISTRY",
+    "POLICY_ENV_VAR",
+    "available_policies",
+    "default_policy",
+    "register_scheduler",
+    "register_allocation",
+    "register_placement",
+    "resolve_scheduler",
+    "resolve_allocation",
+    "resolve_placement",
     "optimus_allocation",
     "drf_allocation",
     "tetris_allocation",
     "fifo_allocation",
     "srtf_allocation",
+    "goodput_allocation",
+    "oasis_allocation",
     "optimus_placement",
     "spread_placement",
     "pack_placement",

@@ -26,6 +26,12 @@ from repro.obs.registry import (
 from repro.obs.spans import NULL_SPAN_TRACER, SpanTracer
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.workloads.job import JobSpec
+from repro.workloads.speed import MODE_SYNC
+
+#: Floor on the combined statistical efficiency served to goodput-style
+#: policies: a nearly-converged job still has positive worth (finishing it
+#: frees its resources), so its efficiency never collapses to zero.
+MIN_STATISTICAL_EFFICIENCY = 0.05
 
 
 @dataclass
@@ -53,6 +59,12 @@ class JobView:
     #: §5.4 checkpoint + restart + restore cycle. Used by cost-aware
     #: rescaling (§7 "Scaling overhead").
     rescale_cost: float = 0.0
+    #: Pollux-style statistical efficiency of the job's *next* training
+    #: step, derived from the fitted loss curve: the predicted marginal
+    #: loss decrease now relative to the start of the current training
+    #: phase, in (0, 1]. 1.0 when no fit is available (young jobs, oracle
+    #: estimator modes).
+    loss_efficiency: float = 1.0
 
     @property
     def job_id(self) -> str:
@@ -69,6 +81,38 @@ class JobView:
         if not speed or speed <= 0:
             return float("inf")
         return self.remaining_steps / speed
+
+    def statistical_efficiency(self, workers: int) -> float:
+        """Effective convergence progress per raw training step, in (0, 1].
+
+        The Pollux decomposition: goodput = throughput x statistical
+        efficiency. Here efficiency is the product of (a) the loss-curve
+        term ``loss_efficiency`` (diminishing returns as the job nears
+        convergence) and (b) the §5.2 asynchrony discount -- stale updates
+        make each raw step worth ``1 / (1 + staleness * (w - 1))`` steps of
+        convergence progress. Synchronous jobs only pay (a). Floored at
+        ``MIN_STATISTICAL_EFFICIENCY`` so finishing jobs are never starved.
+        """
+        eff = min(max(self.loss_efficiency, 0.0), 1.0)
+        if self.spec.mode != MODE_SYNC and workers > 1:
+            eff /= 1.0 + self.spec.profile.staleness_factor * (workers - 1)
+        return max(eff, MIN_STATISTICAL_EFFICIENCY)
+
+    def goodput(self, ps: int, workers: int) -> float:
+        """Predicted goodput (effective steps/second) of a configuration.
+
+        ``speed(p, w) * statistical_efficiency(w)``: what the Pollux-style
+        allocator maximises the marginal gain of, instead of raw speed.
+        """
+        if workers < 1 or ps < 1:
+            return 0.0
+        try:
+            speed = self.speed(ps, workers)
+        except Exception:
+            return 0.0
+        if not speed or speed <= 0:
+            return 0.0
+        return speed * self.statistical_efficiency(workers)
 
 
 @dataclass(frozen=True)

@@ -7,7 +7,7 @@ DRF placement" and friends).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.common.errors import SchedulingError
@@ -19,7 +19,13 @@ from repro.core.placement import (
     _apply_layout,
 )
 from repro.schedulers.base import JobView, Scheduler, SchedulingDecision
-from repro.schedulers.policies import ALLOCATION_POLICIES, PLACEMENT_POLICIES
+from repro.schedulers.policies import ALLOCATION_POLICIES, PLACEMENT_POLICIES  # noqa: F401
+from repro.schedulers.registry import (
+    register_scheduler,
+    resolve_allocation,
+    resolve_placement,
+    resolve_scheduler,
+)
 
 
 class CompositeScheduler(Scheduler):
@@ -54,18 +60,10 @@ class CompositeScheduler(Scheduler):
     ):
         if rescale_threshold < 0:
             raise SchedulingError("rescale_threshold must be non-negative")
-        if allocation not in ALLOCATION_POLICIES:
-            raise SchedulingError(
-                f"unknown allocation policy {allocation!r}; "
-                f"known: {sorted(ALLOCATION_POLICIES)}"
-            )
-        if placement not in PLACEMENT_POLICIES:
-            raise SchedulingError(
-                f"unknown placement policy {placement!r}; "
-                f"known: {sorted(PLACEMENT_POLICIES)}"
-            )
-        self.allocation_policy = ALLOCATION_POLICIES[allocation]
-        self.placement_policy = PLACEMENT_POLICIES[placement]
+        # Registry lookups raise SchedulingError listing the registered
+        # names on a miss -- an unknown policy never surfaces as a KeyError.
+        self.allocation_policy = resolve_allocation(allocation)
+        self.placement_policy = resolve_placement(placement)
         self.allocation_kwargs = allocation_kwargs
         self.rescale_threshold = float(rescale_threshold)
         self.placement_cache = PlacementCache() if placement_cache else None
@@ -237,6 +235,7 @@ class CompositeScheduler(Scheduler):
         return decision
 
 
+@register_scheduler("optimus")
 class OptimusScheduler(CompositeScheduler):
     """The paper's scheduler: §4.1 allocation + §4.2 placement.
 
@@ -261,6 +260,7 @@ class OptimusScheduler(CompositeScheduler):
         )
 
 
+@register_scheduler("drf")
 class DRFScheduler(CompositeScheduler):
     """The fairness baseline: DRF allocation + load-balanced placement."""
 
@@ -268,6 +268,7 @@ class DRFScheduler(CompositeScheduler):
         super().__init__("drf", "spread", name=name)
 
 
+@register_scheduler("tetris")
 class TetrisScheduler(CompositeScheduler):
     """The Tetris baseline: packing+SRTF allocation + packing placement."""
 
@@ -275,6 +276,7 @@ class TetrisScheduler(CompositeScheduler):
         super().__init__("tetris", "pack", name=name)
 
 
+@register_scheduler("fifo")
 class FIFOScheduler(CompositeScheduler):
     """Static first-in-first-out scheduling of the owners' fixed requests."""
 
@@ -282,22 +284,22 @@ class FIFOScheduler(CompositeScheduler):
         super().__init__("fifo", "spread", name=name)
 
 
-def make_scheduler(name: str, **kwargs) -> Scheduler:
-    """Build a scheduler from a preset name or an ``alloc+place`` spec.
+@register_scheduler("srtf")
+class SRTFScheduler(CompositeScheduler):
+    """Shortest-remaining-time-first allocation + Optimus placement."""
 
-    Presets: ``optimus``, ``drf``, ``tetris``, ``fifo``. Any other name is
-    parsed as ``"<allocation>+<placement>"`` for ablation hybrids, e.g.
+    def __init__(self, name: str = "srtf"):
+        super().__init__("srtf", "optimus", name=name)
+
+
+def make_scheduler(name: Optional[str] = None, **kwargs) -> Scheduler:
+    """Build a scheduler from a registered name or an ``alloc+place`` spec.
+
+    A thin alias of :func:`repro.schedulers.registry.resolve_scheduler`:
+    registered presets (``optimus``, ``drf``, ``tetris``, ``fifo``,
+    ``srtf``, ``goodput``, ``oasis``, ...) resolve directly; any other name
+    is parsed as ``"<allocation>+<placement>"`` for ablation hybrids, e.g.
     ``"drf+optimus"`` is DRF allocation with Optimus placement (Fig. 18).
+    ``None`` honours the ``REPRO_POLICY`` environment variable.
     """
-    presets = {
-        "optimus": OptimusScheduler,
-        "drf": DRFScheduler,
-        "tetris": TetrisScheduler,
-        "fifo": FIFOScheduler,
-    }
-    if name in presets:
-        return presets[name](**kwargs)
-    if "+" in name:
-        allocation, placement = name.split("+", 1)
-        return CompositeScheduler(allocation, placement, **kwargs)
-    raise SchedulingError(f"unknown scheduler {name!r}")
+    return resolve_scheduler(name, **kwargs)

@@ -42,6 +42,12 @@ from repro.core.placement import (
     place_jobs,
 )
 from repro.schedulers.base import JobView
+from repro.schedulers.registry import (
+    ALLOCATION_REGISTRY,
+    PLACEMENT_REGISTRY,
+    register_allocation,
+    register_placement,
+)
 
 AllocationPolicy = Callable[[Sequence[JobView], ResourceVector], Dict[str, TaskAllocation]]
 PlacementPolicy = Callable[[Cluster, Sequence[PlacementRequest]], PlacementResult]
@@ -331,16 +337,17 @@ def pack_placement(
     return _place_task_by(cluster, requests, choose)
 
 
-ALLOCATION_POLICIES: Dict[str, AllocationPolicy] = {
-    "optimus": optimus_allocation,
-    "drf": drf_allocation,
-    "tetris": tetris_allocation,
-    "fifo": fifo_allocation,
-    "srtf": srtf_allocation,
-}
+register_allocation("optimus", optimus_allocation)
+register_allocation("drf", drf_allocation)
+register_allocation("tetris", tetris_allocation)
+register_allocation("fifo", fifo_allocation)
+register_allocation("srtf", srtf_allocation)
 
-PLACEMENT_POLICIES: Dict[str, PlacementPolicy] = {
-    "optimus": optimus_placement,
-    "spread": spread_placement,
-    "pack": pack_placement,
-}
+register_placement("optimus", optimus_placement)
+register_placement("spread", spread_placement)
+register_placement("pack", pack_placement)
+
+#: Back-compat aliases of the live registries (policies registered later --
+#: e.g. goodput, oasis -- appear here too; see repro.schedulers.registry).
+ALLOCATION_POLICIES: Dict[str, AllocationPolicy] = ALLOCATION_REGISTRY
+PLACEMENT_POLICIES: Dict[str, PlacementPolicy] = PLACEMENT_REGISTRY

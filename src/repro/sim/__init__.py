@@ -6,6 +6,14 @@ from repro.sim.background import (
     diurnal_load,
     step_load,
 )
+from repro.sim.arena import (
+    ArenaReport,
+    PolicyScore,
+    format_arena,
+    jain_index,
+    run_arena,
+    score_result,
+)
 from repro.sim.engine import (
     ENGINES,
     default_engine,
@@ -14,7 +22,7 @@ from repro.sim.engine import (
     simulate,
     simulation_for,
 )
-from repro.sim.events import EventDrivenSimulation
+from repro.sim.events import EventDrivenSimulation, probe_accuracy
 from repro.sim.experiment import (
     SchedulerStats,
     compare_schedulers,
@@ -38,6 +46,13 @@ from repro.sim.stragglers import (
 )
 
 __all__ = [
+    "ArenaReport",
+    "PolicyScore",
+    "format_arena",
+    "jain_index",
+    "run_arena",
+    "score_result",
+    "probe_accuracy",
     "LoadProfile",
     "constant_load",
     "diurnal_load",

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cluster.cluster import Cluster
 from repro.common.errors import SimulationError
@@ -151,7 +151,7 @@ class Simulation:
     def __init__(
         self,
         cluster: Cluster,
-        scheduler: Scheduler,
+        scheduler: Union[Scheduler, str],
         jobs: Sequence[JobSpec],
         config: Optional[SimConfig] = None,
         tracer: Optional[Tracer] = None,
@@ -159,6 +159,13 @@ class Simulation:
         fault_plan: Optional[FaultPlan] = None,
         timeseries: Optional[TimeSeriesDB] = None,
     ):
+        if isinstance(scheduler, str):
+            # Resolve registered policy names (and "alloc+place" hybrids)
+            # through the scheduler registry; importing the package loads
+            # every built-in policy module first.
+            from repro.schedulers import make_scheduler
+
+            scheduler = make_scheduler(scheduler)
         if not jobs:
             raise SimulationError("need at least one job")
         ids = [j.job_id for j in jobs]
@@ -752,7 +759,7 @@ def default_engine() -> str:
 def simulation_for(
     engine: str,
     cluster: Cluster,
-    scheduler: Scheduler,
+    scheduler: Union[Scheduler, str],
     jobs: Sequence[JobSpec],
     config: Optional[SimConfig] = None,
     **kwargs,
@@ -769,7 +776,7 @@ def simulation_for(
 
 def simulate(
     cluster: Cluster,
-    scheduler: Scheduler,
+    scheduler: Union[Scheduler, str],
     jobs: Sequence[JobSpec],
     config: Optional[SimConfig] = None,
     tracer: Optional[Tracer] = None,

@@ -62,6 +62,28 @@ EVENT_KIND_NAMES = {
 }
 
 
+def probe_accuracy(metrics) -> Dict[str, float]:
+    """Summarise completion-probe outcomes from a metrics registry.
+
+    Returns the confirmed/stale/missed counts plus ``accuracy`` -- the
+    fraction of *scored* probes (stale ones superseded by a rescale are
+    excluded) whose job had really finished by its projected time. An
+    event-granular estimator-quality number: 1.0 means every surviving
+    projection was met. All zeros when the run attached no telemetry.
+    """
+    counters = metrics.snapshot().get("counters", {})
+    confirmed = float(counters.get("sim.events_completion_confirmed", 0))
+    stale = float(counters.get("sim.events_completion_stale", 0))
+    missed = float(counters.get("sim.events_completion_missed", 0))
+    scored = confirmed + missed
+    return {
+        "confirmed": confirmed,
+        "stale": stale,
+        "missed": missed,
+        "accuracy": confirmed / scored if scored > 0 else 0.0,
+    }
+
+
 class EventDrivenSimulation(Simulation):
     """A :class:`Simulation` whose main loop is an event heap.
 

@@ -356,6 +356,17 @@ class RuntimeJob:
             return noisy_speed
         return lambda p, w: self.truth.speed(p, w)
 
+    def loss_efficiency(self) -> float:
+        """The loss-curve statistical-efficiency term (goodput policies).
+
+        Online mode asks the fitted convergence curve how much the next
+        step is worth relative to the phase start; the oracle/noisy modes
+        model convergence-*time* errors only, so they report neutral 1.0.
+        """
+        if self.estimator_mode != "online":
+            return 1.0
+        return self.convergence.marginal_efficiency(self.steps_done)
+
     def view(self) -> JobView:
         """The scheduler-facing snapshot for this interval."""
         return JobView(
@@ -369,6 +380,7 @@ class RuntimeJob:
             rescale_cost=self.scaling_costs.scale_cost(
                 self.spec.profile.model_size_bytes
             ),
+            loss_efficiency=self.loss_efficiency(),
         )
 
     # -- fault recovery (checkpoint-bounded restart) -------------------------

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -22,6 +24,16 @@ class TestParser:
         args = build_parser().parse_args(["compare"])
         assert args.schedulers == ["optimus", "drf", "tetris"]
         assert args.estimator == "online"
+
+    def test_arena_defaults(self):
+        args = build_parser().parse_args(["arena"])
+        assert args.policies == "optimus,goodput,oasis,drf"
+        assert args.seed == 42
+        assert args.baseline is None
+
+    def test_simulate_policy_alias(self):
+        args = build_parser().parse_args(["simulate", "--policy", "goodput"])
+        assert args.scheduler == "goodput"
 
 
 class TestCommands:
@@ -56,3 +68,28 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "optimus" in out and "drf" in out
+
+    def test_arena_tiny_json(self, capsys, tmp_path):
+        gate_path = tmp_path / "gate.json"
+        code = main(
+            [
+                "arena",
+                "--policies", "optimus,oasis",
+                "--jobs", "2",
+                "--servers", "4",
+                "--window", "600",
+                "--estimator", "oracle",
+                "--json",
+                "--gate-output", str(gate_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["baseline"] == "optimus"
+        assert {p["policy"] for p in report["policies"]} == {"optimus", "oasis"}
+        gate = json.loads(gate_path.read_text())
+        assert "oasis_jct_ratio" in gate
+
+    def test_arena_unknown_policy_fails(self, capsys):
+        code = main(["arena", "--policies", "optimus,not-a-policy"])
+        assert code != 0

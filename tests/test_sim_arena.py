@@ -1,0 +1,132 @@
+"""Tests for the scheduler arena (head-to-head policy runs)."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, cpu_mem
+from repro.common.errors import SchedulingError, SimulationError
+from repro.sim import SimConfig, format_arena, jain_index, run_arena
+from repro.workloads import uniform_arrivals
+
+FAST_MODELS = ["cnn-rand", "dssm", "kaggle-ndsb"]
+
+
+def tiny_cluster():
+    return Cluster.homogeneous(4, cpu_mem(16, 80))
+
+
+def tiny_trace(seed=1):
+    return uniform_arrivals(num_jobs=3, window=600.0, seed=seed, models=FAST_MODELS)
+
+
+def tiny_arena(policies=("optimus", "oasis"), seed=1, **kwargs):
+    return run_arena(
+        list(policies),
+        tiny_cluster,
+        tiny_trace(seed),
+        config=SimConfig(seed=seed, estimator_mode="oracle"),
+        **kwargs,
+    )
+
+
+class TestJainIndex:
+    def test_equal_values_score_one(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_dominant_value_scores_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_nonfinite(self):
+        assert jain_index([]) == 0.0
+        assert jain_index([float("inf"), float("nan")]) == 0.0
+        assert jain_index([float("inf"), 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        values = [1.0, 7.0, 3.0, 9.0]
+        assert 1.0 / len(values) <= jain_index(values) <= 1.0
+
+
+class TestRunArena:
+    def test_deterministic_across_reruns_per_seed(self):
+        for seed in (1, 2):
+            first = tiny_arena(seed=seed).to_dict()
+            second = tiny_arena(seed=seed).to_dict()
+            assert json.dumps(first, sort_keys=True) == json.dumps(
+                second, sort_keys=True
+            )
+
+    def test_report_fields(self):
+        report = tiny_arena()
+        assert report.baseline == "optimus"
+        assert report.jobs == 3 and report.servers == 4
+        assert {s.policy for s in report.scores} == {"optimus", "oasis"}
+        for score in report.scores:
+            assert 0 <= score.finished <= score.jobs
+            assert 0.0 <= score.jain_fairness <= 1.0
+            assert score.average_jct >= 0.0
+
+    def test_baseline_ratios_are_one(self):
+        report = tiny_arena()
+        rel = report.relative("optimus")
+        assert rel["jct_ratio"] == pytest.approx(1.0)
+        assert rel["makespan_ratio"] == pytest.approx(1.0)
+
+    def test_to_dict_is_strict_json(self):
+        payload = json.dumps(tiny_arena().to_dict(), allow_nan=False)
+        assert "optimus" in payload
+
+    def test_gate_dict_keys(self):
+        gate = tiny_arena().gate_dict()
+        for policy in ("optimus", "oasis"):
+            for suffix in (
+                "avg_jct_s",
+                "jct_ratio",
+                "makespan_ratio",
+                "jain_fairness",
+                "worker_utilization",
+                "jobs_finished",
+            ):
+                assert f"{policy}_{suffix}" in gate
+        assert all(isinstance(v, float) for v in gate.values())
+
+    def test_hybrid_names_sanitised_in_gate(self):
+        gate = tiny_arena(policies=("optimus", "srtf+pack")).gate_dict()
+        assert "srtf_pack_avg_jct_s" in gate
+
+    def test_explicit_baseline(self):
+        report = tiny_arena(baseline="oasis")
+        assert report.relative("oasis")["jct_ratio"] == pytest.approx(1.0)
+
+    def test_format_arena_mentions_every_policy(self):
+        report = tiny_arena()
+        text = format_arena(report)
+        assert "optimus" in text and "oasis" in text
+        assert "baseline=optimus" in text
+
+
+class TestArenaErrors:
+    def test_empty_policy_list(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            run_arena([], tiny_cluster, tiny_trace())
+
+    def test_duplicate_policies(self):
+        with pytest.raises(SimulationError, match="duplicate"):
+            run_arena(["optimus", "optimus"], tiny_cluster, tiny_trace())
+
+    def test_baseline_must_be_raced(self):
+        with pytest.raises(SimulationError, match="baseline"):
+            tiny_arena(baseline="drf")
+
+    def test_unknown_policy_fails_before_running(self):
+        with pytest.raises(SchedulingError, match="definitely-not-a-policy"):
+            run_arena(
+                ["optimus", "definitely-not-a-policy"],
+                tiny_cluster,
+                tiny_trace(),
+            )
+
+    def test_missing_score_lookup(self):
+        report = tiny_arena()
+        with pytest.raises(SimulationError, match="no arena score"):
+            report.score("drf")
