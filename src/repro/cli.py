@@ -183,6 +183,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             tracer.close()
     if args.trace_out:
         print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+        # Reproducibility manifest: everything a replay needs, pinned
+        # next to the trace it belongs to.
+        from repro.sim import default_engine, manifest_path_for, run_manifest, write_manifest
+
+        manifest = run_manifest(
+            config=config,
+            engine=args.engine if args.engine else default_engine(),
+            policy=result.scheduler_name,
+            jobs=jobs,
+        )
+        manifest_path = write_manifest(manifest_path_for(args.trace_out), manifest)
+        print(f"wrote manifest to {manifest_path}", file=sys.stderr)
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
             json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
@@ -399,6 +411,120 @@ def _cmd_drill(args: argparse.Namespace) -> int:
         for failure in failures:
             print(f"INVARIANT VIOLATED: {failure}")
     return 1 if failures else 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Long-horizon soak runs and trace-stream invariant checking.
+
+    Three modes: ``--scenario FILE`` runs a chaos scenario end to end and
+    audits its stream; ``--check TRACE`` audits an existing JSONL trace;
+    ``--self-test`` seeds violations into a known-good stream and asserts
+    the checker catches them. Exit 0 means every invariant held.
+    """
+    from repro.common.errors import ConfigurationError
+    from repro.soak import CheckerConfig, check_trace_file, run_selftest
+
+    modes = sum(1 for m in (args.scenario, args.check, args.self_test) if m)
+    if modes != 1:
+        print(
+            "soak: exactly one of --scenario, --check or --self-test is required",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.self_test:
+        verdict = run_selftest(
+            seed=args.seed_override if args.seed_override is not None else 0
+        )
+        if args.report_out:
+            with open(args.report_out, "w") as handle:
+                json.dump(verdict, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if args.json:
+            print(json.dumps(verdict, indent=2, sort_keys=True))
+        else:
+            for case in verdict["cases"]:
+                status = "ok" if case["detected"] else "MISSED"
+                print(f"[self-test] {case['name']}: {status}")
+            print(f"self-test: {'ok' if verdict['ok'] else 'FAILED'}")
+        return 0 if verdict["ok"] else 1
+
+    if args.check:
+        config = CheckerConfig(
+            recovery_slack=args.recovery_slack,
+            require_accounting=args.require_accounting,
+            strict_end=args.strict_end,
+        )
+        checker = check_trace_file(args.check, config)
+        report = checker.report(extra={"trace": args.check})
+        if args.report_out:
+            with open(args.report_out, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote report to {args.report_out}", file=sys.stderr)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            stats = report["stats"]
+            print(
+                f"checked {stats['events']} events: "
+                f"{stats['jobs_arrived']} jobs arrived, "
+                f"{stats['jobs_completed']} completed, "
+                f"{stats['node_failures']} node failures"
+            )
+            for violation in report["violations"]:
+                print(f"INVARIANT VIOLATED [{violation['invariant']}]: {violation['message']}")
+            print("invariants: " + ("ok" if report["ok"] else "FAIL"))
+        return 0 if report["ok"] else 1
+
+    from repro.sim import load_scenario, run_soak
+
+    try:
+        scenario = load_scenario(args.scenario)
+        if args.seed_override is not None:
+            import dataclasses as _dc
+
+            scenario = _dc.replace(scenario, seed=args.seed_override)
+        if args.engine:
+            import dataclasses as _dc
+
+            scenario = _dc.replace(scenario, engine=args.engine)
+        outcome = run_soak(
+            scenario,
+            trace_out=args.trace_out,
+            report_out=args.report_out,
+        )
+    except ConfigurationError as exc:
+        print(f"soak: {exc}", file=sys.stderr)
+        return 2
+    if args.trace_out:
+        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+        print(f"wrote manifest to {outcome.manifest_path}", file=sys.stderr)
+    if outcome.report_path:
+        print(f"wrote report to {outcome.report_path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(outcome.report, indent=2, sort_keys=True))
+    else:
+        sim = outcome.report["sim"]
+        stats = outcome.report["stats"]
+        rows = [
+            ["scenario", scenario.name],
+            ["seed", scenario.seed],
+            ["engine", outcome.report["engine"]],
+            ["policy", scenario.policy],
+            ["jobs finished", f"{sim['finished']}/{sim['jobs']}"],
+            ["makespan (h)", sim["makespan"] / 3600],
+            ["events checked", stats["events"]],
+            ["restarts", stats["restarts"]],
+            ["node failures", stats["node_failures"]],
+            ["invariants", "ok" if outcome.ok else "FAIL"],
+        ]
+        print(format_table(["metric", "value"], rows))
+        for violation in outcome.violations:
+            print(
+                f"INVARIANT VIOLATED [{violation.invariant}]: {violation.message}"
+            )
+    return 0 if outcome.ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -692,6 +818,68 @@ def build_parser() -> argparse.ArgumentParser:
         "ring-buffer TSDB) to FILE",
     )
     simulate_cmd.set_defaults(func=_cmd_simulate)
+
+    soak = sub.add_parser(
+        "soak",
+        help="long-horizon chaos scenarios + trace-stream invariant checking",
+    )
+    soak.add_argument(
+        "--scenario", metavar="FILE", help="run a JSON soak scenario end to end"
+    )
+    soak.add_argument(
+        "--check",
+        metavar="TRACE",
+        help="audit an existing JSONL trace instead of running a scenario",
+    )
+    soak.add_argument(
+        "--self-test",
+        action="store_true",
+        help="seed violations into a known-good stream and assert detection",
+    )
+    soak.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="stream the scenario's JSONL trace to FILE (manifest lands "
+        "next to it)",
+    )
+    soak.add_argument(
+        "--report-out",
+        metavar="FILE",
+        help="write the machine-readable violation report to FILE",
+    )
+    soak.add_argument(
+        "--seed",
+        dest="seed_override",
+        type=int,
+        default=None,
+        help="override the scenario's seed (--scenario mode)",
+    )
+    soak.add_argument(
+        "--engine",
+        choices=("tick", "event"),
+        default=None,
+        help="override the scenario's engine core",
+    )
+    soak.add_argument(
+        "--recovery-slack",
+        type=float,
+        default=1800.0,
+        help="--check mode: seconds past a node's announced up_at before "
+        "its outage counts as overdue (default: 1800)",
+    )
+    soak.add_argument(
+        "--require-accounting",
+        action="store_true",
+        help="--check mode: fail traces missing the run_completed event",
+    )
+    soak.add_argument(
+        "--strict-end",
+        action="store_true",
+        help="--check mode: treat unexplained unfinished jobs and overdue "
+        "outages at end of stream as violations",
+    )
+    soak.add_argument("--json", action="store_true")
+    soak.set_defaults(func=_cmd_soak)
 
     trace_cmd = sub.add_parser(
         "trace", help="summarise a JSONL trace written by --trace-out"

@@ -13,8 +13,14 @@ class ReproError(Exception):
     """Base class of every error raised deliberately by :mod:`repro`."""
 
 
-class ConfigurationError(ReproError):
-    """An object was constructed with invalid or inconsistent parameters."""
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with invalid or inconsistent parameters.
+
+    Also a :class:`ValueError`: malformed external inputs (trace files,
+    scenario specs, CSV rows) are value errors in the standard library's
+    sense, and callers holding only stdlib exceptions can still catch
+    them without importing :mod:`repro`.
+    """
 
 
 class CapacityError(ReproError):

@@ -68,6 +68,15 @@ EVENT_ESTIMATOR_SAMPLE = "estimator_sample"
 #: The windowed estimator error crossed the drift band: the online model
 #: is persistently wrong and a refit (or operator attention) is warranted.
 EVENT_ESTIMATOR_DRIFT = "estimator_drift"
+#: A job's progress was checkpointed (fault runs only): carries ``job_id``
+#: and the cumulative ``steps`` saved -- the anchor for the soak checker's
+#: monotonic-checkpoint invariant.
+EVENT_CHECKPOINT_RECORDED = "checkpoint_recorded"
+#: Terminal accounting record emitted once by a soak/simulation runner:
+#: which jobs finished, which are legitimately unfinished, and any state
+#: (pods, leases, intents) still held after teardown. The soak invariant
+#: checker reconciles the whole stream against this event.
+EVENT_RUN_COMPLETED = "run_completed"
 
 #: Every event type a tracer accepts.
 EVENT_TYPES = frozenset(
@@ -93,6 +102,8 @@ EVENT_TYPES = frozenset(
         EVENT_SPAN,
         EVENT_ESTIMATOR_SAMPLE,
         EVENT_ESTIMATOR_DRIFT,
+        EVENT_CHECKPOINT_RECORDED,
+        EVENT_RUN_COMPLETED,
     }
 )
 

@@ -23,6 +23,21 @@ from repro.sim.engine import (
     simulation_for,
 )
 from repro.sim.events import EventDrivenSimulation, probe_accuracy
+from repro.sim.manifest import (
+    config_digest,
+    manifest_path_for,
+    run_manifest,
+    write_manifest,
+)
+from repro.sim.soak import (
+    ScenarioSpec,
+    SoakOutcome,
+    build_fault_plan,
+    build_workload,
+    load_scenario,
+    perturbation_from_spec,
+    run_soak,
+)
 from repro.sim.experiment import (
     SchedulerStats,
     compare_schedulers,
@@ -78,6 +93,17 @@ __all__ = [
     "SchedulerStats",
     "run_repeats",
     "compare_schedulers",
+    "config_digest",
+    "manifest_path_for",
+    "run_manifest",
+    "write_manifest",
+    "ScenarioSpec",
+    "SoakOutcome",
+    "build_fault_plan",
+    "build_workload",
+    "load_scenario",
+    "perturbation_from_spec",
+    "run_soak",
     "normalized",
     "format_comparison",
 ]

@@ -47,6 +47,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.obs.tracer import (
     EVENT_ALLOCATION_DECIDED,
+    EVENT_CHECKPOINT_RECORDED,
     EVENT_INTERVAL_TICK,
     EVENT_JOB_ARRIVED,
     EVENT_JOB_COMPLETED,
@@ -640,6 +641,13 @@ class Simulation:
                     if job.checkpoint_due(boundary, cfg.checkpoint_interval):
                         job.record_checkpoint(boundary)
                         self._faults.note_checkpoint(job_id)
+                        if tracer:
+                            tracer.emit(
+                                EVENT_CHECKPOINT_RECORDED,
+                                boundary,
+                                job_id=job_id,
+                                steps=job.steps_done,
+                            )
                 self._prev_layouts = {
                     job_id: dict(layout)
                     for job_id, layout in decision.layouts.items()

@@ -1,0 +1,510 @@
+"""Streaming invariant checking over the JSONL span/trace stream.
+
+Long-horizon chaos runs only prove something if the stream they emit is
+*audited*: a soak that "exits 0" can still have lost a job, leaked a pod
+or left a node dead forever. :class:`InvariantChecker` consumes trace
+events one at a time -- during the run or from a file afterwards -- and
+asserts structural invariants over the whole stream:
+
+``seq-monotonic``
+    Event sequence numbers strictly increase (stream integrity; a torn or
+    re-ordered stream fails loudly instead of passing vacuously).
+``unknown-job``
+    No completion/restart/checkpoint/allocation references a job that was
+    never admitted (``job_arrived``).
+``duplicate-completion``
+    A job completes at most once.
+``lost-job`` / ``completion-missing``
+    Reconciled against the terminal ``run_completed`` accounting event:
+    every admitted job either completed on-stream or is explicitly
+    accounted unfinished -- and every job the runner claims finished has a
+    ``job_completed`` event to show for it.
+``node-lifecycle`` / ``recovery-overdue``
+    ``node_failed``/``node_recovered`` alternate per server, and a failed
+    node recovers within its announced ``up_at`` plus a slack bound.
+``rollback-bound`` / ``rollback-negative``
+    Every ``job_restarted`` rolled back by a bounded amount of simulated
+    time (double the bound when the checkpoint itself was lost), and
+    never by a negative step count.
+``checkpoint-monotonic``
+    Recorded checkpoints never regress, except directly after a restart
+    that lost its latest checkpoint.
+``restart-stall``
+    (Opt-in) a restarted job is re-allocated or completes within a bound.
+``span-parent-missing``
+    Every span's parent eventually closes: the causal tree has no
+    dangling edges.
+``leaked-pod`` / ``leaked-lease`` / ``leaked-intent``
+    The terminal accounting reports no pods, leases or write-ahead
+    intents still held after teardown.
+``accounting-missing`` / ``accounting-duplicate``
+    Exactly one ``run_completed`` event (when required).
+
+Violations are :class:`Violation` records naming the invariant, the
+offending subject (job / server / lease / intent id) and the event
+position; :meth:`InvariantChecker.report` renders the machine-readable
+violation report the nightly soak lane uploads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.obs.tracer import (
+    EVENT_ALLOCATION_DECIDED,
+    EVENT_CHECKPOINT_RECORDED,
+    EVENT_JOB_ARRIVED,
+    EVENT_JOB_COMPLETED,
+    EVENT_JOB_RESTARTED,
+    EVENT_NODE_FAILED,
+    EVENT_NODE_RECOVERED,
+    EVENT_RUN_COMPLETED,
+    EVENT_SPAN,
+    EVENT_TASK_CRASHED,
+)
+
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, pointable to a stream position and subject."""
+
+    invariant: str
+    message: str
+    subject: Optional[str] = None  # job / server / lease / intent id
+    seq: Optional[int] = None
+    time: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "subject": self.subject,
+            "seq": self.seq,
+            "time": self.time,
+        }
+
+
+@dataclass(frozen=True)
+class CheckerConfig:
+    """Tunable bounds for the stream invariants.
+
+    ``recovery_slack`` is added to a ``node_failed`` event's announced
+    ``up_at`` before the outage counts as overdue (the engine only emits
+    recoveries at interval boundaries). ``rollback_bound`` bounds
+    ``since_checkpoint`` on restarts (``None`` disables; doubled when the
+    checkpoint was lost). ``stall_bound`` (opt-in) bounds how long a
+    restarted job may go without a fresh allocation. ``require_accounting``
+    demands a terminal ``run_completed`` event -- soak runs always emit
+    one; standalone ``simulate`` traces do not. ``strict_end`` treats
+    admitted-but-unaccounted jobs and still-open outages at end-of-stream
+    as violations even without accounting.
+    """
+
+    recovery_slack: float = 1800.0
+    rollback_bound: Optional[float] = None
+    stall_bound: Optional[float] = None
+    require_accounting: bool = False
+    strict_end: bool = False
+
+
+class InvariantChecker:
+    """Feed events with :meth:`observe`; collect breaches via :meth:`finish`."""
+
+    def __init__(self, config: Optional[CheckerConfig] = None):
+        self.config = config or CheckerConfig()
+        self.violations: List[Violation] = []
+        self.counts: Counter = Counter()
+        self._last_seq: Optional[int] = None
+        self._now = 0.0  # high-water simulated time
+        self._arrived: Dict[str, int] = {}
+        self._completed: Set[str] = set()
+        self._allocated_ever: Set[str] = set()
+        # server -> [fail_time, up_at, seq, overdue_seen_at]; the last slot
+        # records the stream time at which the outage first looked overdue
+        # (see _check_overdue_outages). Flagged outages are removed.
+        self._outages: Dict[str, list] = {}
+        self._restart_pending: Dict[str, float] = {}  # job -> restart time
+        self._checkpoints: Dict[str, float] = {}  # job -> last steps
+        self._ckpt_regress_ok: Set[str] = set()  # lost-checkpoint restarts
+        self._span_ids: Set[int] = set()
+        self._span_parents: Dict[int, tuple] = {}  # parent_id -> (seq, time)
+        self._accounting: Optional[Dict] = None
+        self._finished = False
+
+    # -- helpers -----------------------------------------------------------------
+    def _flag(
+        self,
+        invariant: str,
+        message: str,
+        subject: Optional[str] = None,
+        event: Optional[Dict] = None,
+    ) -> Violation:
+        violation = Violation(
+            invariant=invariant,
+            message=message,
+            subject=subject,
+            seq=event.get("seq") if event else None,
+            time=event.get("time") if event else None,
+        )
+        self.violations.append(violation)
+        return violation
+
+    def _check_overdue_outages(self, event: Dict) -> None:
+        """Flag outages whose recovery window has demonstrably passed.
+
+        The engine only emits recoveries at *processed* scheduling
+        boundaries, and an idle cluster skips boundaries entirely -- so a
+        node due back mid-trough legitimately recovers (in stream order)
+        at the first active interval afterwards, possibly behind that
+        interval's admission events. The invariant is therefore: once an
+        outage looks overdue, the recovery must appear before any event
+        with a *strictly later* time. Genuinely lost recoveries still get
+        flagged one boundary later (or at end of stream via strict_end).
+        """
+        slack = self.config.recovery_slack
+        for server, state in list(self._outages.items()):
+            fail_time, up_at, _seq, overdue_at = state
+            deadline = (up_at if up_at is not None else fail_time) + slack
+            if self._now <= deadline:
+                continue
+            if overdue_at is None:
+                state[3] = self._now  # grace: same-boundary recovery may follow
+                continue
+            if self._now > overdue_at:
+                self._flag(
+                    "recovery-overdue",
+                    f"server {server!r} failed at t={fail_time:.0f} and was "
+                    f"due back by t={deadline:.0f}, but no node_recovered "
+                    f"was seen by t={self._now:.0f}",
+                    subject=server,
+                    event=event,
+                )
+                del self._outages[server]  # flag once, not per event
+
+    def _check_stalled_restarts(self, event: Dict) -> None:
+        bound = self.config.stall_bound
+        if bound is None:
+            return
+        for job_id, restarted_at in list(self._restart_pending.items()):
+            if self._now > restarted_at + bound:
+                self._flag(
+                    "restart-stall",
+                    f"job {job_id!r} restarted at t={restarted_at:.0f} but "
+                    f"received no allocation within {bound:.0f}s",
+                    subject=job_id,
+                    event=event,
+                )
+                del self._restart_pending[job_id]
+
+    def _known(self, job_id: Optional[str], event: Dict) -> bool:
+        if job_id is None:
+            return False
+        if job_id in self._arrived:
+            return True
+        self._flag(
+            "unknown-job",
+            f"{event['event']} references job {job_id!r} which never arrived",
+            subject=job_id,
+            event=event,
+        )
+        return False
+
+    # -- the stream --------------------------------------------------------------
+    def observe(self, event: Dict) -> List[Violation]:
+        """Consume one event; returns violations *newly* detected by it."""
+        before = len(self.violations)
+        kind = event.get("event")
+        self.counts[kind] += 1
+
+        seq = event.get("seq")
+        if isinstance(seq, int):
+            if self._last_seq is not None and seq <= self._last_seq:
+                self._flag(
+                    "seq-monotonic",
+                    f"seq went from {self._last_seq} to {seq}; the stream is "
+                    "torn, reordered, or two runs were concatenated",
+                    event=event,
+                )
+            self._last_seq = seq
+
+        time = event.get("time")
+        if isinstance(time, (int, float)):
+            # Phases may restart their clock (the drill loop counts steps
+            # from 0); invariant deadlines use the high-water mark.
+            self._now = max(self._now, float(time))
+
+        job_id = event.get("job_id")
+        if kind == EVENT_JOB_ARRIVED:
+            if job_id in self._arrived:
+                self._flag(
+                    "duplicate-arrival",
+                    f"job {job_id!r} arrived twice",
+                    subject=job_id,
+                    event=event,
+                )
+            elif job_id is not None:
+                self._arrived[job_id] = seq if isinstance(seq, int) else -1
+        elif kind == EVENT_JOB_COMPLETED:
+            if self._known(job_id, event):
+                if job_id in self._completed:
+                    self._flag(
+                        "duplicate-completion",
+                        f"job {job_id!r} completed twice",
+                        subject=job_id,
+                        event=event,
+                    )
+                self._completed.add(job_id)
+            self._restart_pending.pop(job_id, None)
+        elif kind == EVENT_ALLOCATION_DECIDED:
+            self._known(job_id, event)
+            self._allocated_ever.add(job_id)
+            self._restart_pending.pop(job_id, None)
+        elif kind == EVENT_TASK_CRASHED:
+            self._known(job_id, event)
+        elif kind == EVENT_JOB_RESTARTED:
+            if self._known(job_id, event):
+                self._restart_pending[job_id] = self._now
+            steps_lost = event.get("steps_lost")
+            if isinstance(steps_lost, (int, float)) and steps_lost < 0:
+                self._flag(
+                    "rollback-negative",
+                    f"job {job_id!r} restarted with negative steps_lost "
+                    f"{steps_lost}",
+                    subject=job_id,
+                    event=event,
+                )
+            since = event.get("since_checkpoint")
+            bound = self.config.rollback_bound
+            if bound is not None and isinstance(since, (int, float)):
+                limit = bound * (2.0 if event.get("checkpoint_lost") else 1.0)
+                if since > limit:
+                    self._flag(
+                        "rollback-bound",
+                        f"job {job_id!r} rolled back {since:.0f}s of progress "
+                        f"(bound {limit:.0f}s)",
+                        subject=job_id,
+                        event=event,
+                    )
+            if event.get("checkpoint_lost"):
+                self._ckpt_regress_ok.add(job_id)
+        elif kind == EVENT_CHECKPOINT_RECORDED:
+            if self._known(job_id, event):
+                steps = event.get("steps")
+                last = self._checkpoints.get(job_id)
+                if (
+                    isinstance(steps, (int, float))
+                    and last is not None
+                    and steps < last
+                    and job_id not in self._ckpt_regress_ok
+                ):
+                    self._flag(
+                        "checkpoint-monotonic",
+                        f"job {job_id!r} checkpoint regressed from {last:.0f} "
+                        f"to {steps:.0f} steps without a lost checkpoint",
+                        subject=job_id,
+                        event=event,
+                    )
+                if isinstance(steps, (int, float)):
+                    self._checkpoints[job_id] = float(steps)
+                self._ckpt_regress_ok.discard(job_id)
+        elif kind == EVENT_NODE_FAILED:
+            server = event.get("server")
+            if server in self._outages:
+                self._flag(
+                    "node-lifecycle",
+                    f"server {server!r} failed twice without recovering",
+                    subject=server,
+                    event=event,
+                )
+            elif server is not None:
+                self._outages[server] = [
+                    float(time) if isinstance(time, (int, float)) else self._now,
+                    event.get("up_at"),
+                    seq,
+                    None,
+                ]
+        elif kind == EVENT_NODE_RECOVERED:
+            server = event.get("server")
+            if server not in self._outages:
+                self._flag(
+                    "node-lifecycle",
+                    f"server {server!r} recovered without a preceding failure "
+                    "(or after its outage was already flagged overdue)",
+                    subject=server,
+                    event=event,
+                )
+            else:
+                del self._outages[server]
+        elif kind == EVENT_SPAN:
+            span_id = event.get("span_id")
+            if isinstance(span_id, int):
+                self._span_ids.add(span_id)
+                self._span_parents.pop(span_id, None)
+            parent_id = event.get("parent_id")
+            if isinstance(parent_id, int) and parent_id not in self._span_ids:
+                # Parents close after their children; remember the edge and
+                # resolve it when (if) the parent's span event arrives.
+                self._span_parents.setdefault(parent_id, (seq, time))
+        elif kind == EVENT_RUN_COMPLETED:
+            if self._accounting is not None:
+                self._flag(
+                    "accounting-duplicate",
+                    "run_completed emitted more than once",
+                    event=event,
+                )
+            self._accounting = event
+
+        self._check_overdue_outages(event)
+        self._check_stalled_restarts(event)
+        return self.violations[before:]
+
+    def observe_all(self, events: Sequence[Dict]) -> None:
+        for event in events:
+            self.observe(event)
+
+    # -- end of stream -----------------------------------------------------------
+    def finish(self) -> List[Violation]:
+        """Close the stream: run the invariants that need the whole of it."""
+        if self._finished:
+            return self.violations
+        self._finished = True
+        cfg = self.config
+
+        for parent_id, (seq, time) in sorted(self._span_parents.items()):
+            self._flag(
+                "span-parent-missing",
+                f"span parent {parent_id} never closed: the causal tree has "
+                "a dangling edge (crashed scope or truncated stream)",
+                subject=str(parent_id),
+                event={"seq": seq, "time": time},
+            )
+
+        accounting = self._accounting
+        if accounting is None:
+            if cfg.require_accounting:
+                self._flag(
+                    "accounting-missing",
+                    "no run_completed accounting event found in the stream",
+                )
+            if cfg.strict_end:
+                for job_id in sorted(set(self._arrived) - self._completed):
+                    self._flag(
+                        "lost-job",
+                        f"job {job_id!r} arrived but never completed and no "
+                        "accounting explains it",
+                        subject=job_id,
+                    )
+        else:
+            declared_finished = set(accounting.get("finished") or ())
+            declared_unfinished = set(accounting.get("unfinished") or ())
+            for job_id in sorted(declared_finished - self._completed):
+                self._flag(
+                    "completion-missing",
+                    f"accounting says job {job_id!r} finished but the stream "
+                    "has no job_completed event for it",
+                    subject=job_id,
+                )
+            lost = set(self._arrived) - self._completed - declared_unfinished
+            for job_id in sorted(lost):
+                self._flag(
+                    "lost-job",
+                    f"job {job_id!r} arrived but neither completed nor is "
+                    "accounted unfinished",
+                    subject=job_id,
+                )
+            for key, invariant, noun in (
+                ("leaked_pods", "leaked-pod", "pod"),
+                ("leaked_leases", "leaked-lease", "lease"),
+                ("leaked_intents", "leaked-intent", "intent"),
+            ):
+                for leaked in accounting.get(key) or ():
+                    self._flag(
+                        invariant,
+                        f"{noun} {leaked!r} still held after teardown",
+                        subject=str(leaked),
+                    )
+
+        if cfg.strict_end:
+            # Only outages whose recovery window has demonstrably passed
+            # count; a crash near the end of stream whose ``up_at`` lies
+            # beyond the last event is legitimately still in its window.
+            slack = cfg.recovery_slack
+            for server, (fail_time, up_at, seq, _due) in sorted(
+                self._outages.items()
+            ):
+                deadline = (up_at if up_at is not None else fail_time) + slack
+                if self._now <= deadline:
+                    continue
+                self._flag(
+                    "recovery-overdue",
+                    f"server {server!r} was still down at end of stream "
+                    f"(failed at t={fail_time:.0f}, due back by "
+                    f"t={deadline:.0f})",
+                    subject=server,
+                    event={"seq": seq, "time": fail_time},
+                )
+        return self.violations
+
+    # -- reporting ---------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def stats(self) -> Dict:
+        return {
+            "events": int(sum(self.counts.values())),
+            "event_counts": {k: int(v) for k, v in sorted(self.counts.items())},
+            "jobs_arrived": len(self._arrived),
+            "jobs_completed": len(self._completed),
+            "restarts": int(self.counts.get(EVENT_JOB_RESTARTED, 0)),
+            "node_failures": int(self.counts.get(EVENT_NODE_FAILED, 0)),
+            "open_outages": sorted(self._outages),
+            "has_accounting": self._accounting is not None,
+        }
+
+    def report(self, extra: Optional[Dict] = None) -> Dict:
+        """The machine-readable violation report (nightly CI artifact)."""
+        payload = {
+            "report_version": REPORT_VERSION,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "stats": self.stats(),
+        }
+        if extra:
+            payload.update(extra)
+        return payload
+
+
+def check_events(
+    events: Sequence[Dict], config: Optional[CheckerConfig] = None
+) -> InvariantChecker:
+    """Run the checker over an in-memory event list; returns it finished."""
+    checker = InvariantChecker(config)
+    checker.observe_all(events)
+    checker.finish()
+    return checker
+
+
+def check_trace_file(
+    path: str, config: Optional[CheckerConfig] = None
+) -> InvariantChecker:
+    """Run the checker over a JSONL trace file (tolerant of torn lines).
+
+    Skipped (corrupt) line counts surface in the report's stats; a trace
+    that is *mostly* garbage still produces a verdict on what survived.
+    """
+    from repro.obs.tracer import read_trace_tolerant
+
+    events, skipped = read_trace_tolerant(path)
+    checker = InvariantChecker(config)
+    checker.counts["_corrupt_lines"] = skipped
+    checker.observe_all(events)
+    checker.finish()
+    return checker
+
+
+Events = Union[str, Sequence[Dict]]

@@ -1,0 +1,108 @@
+"""Fault injection for the fault checker: prove violations are detectable.
+
+An invariant checker that never fires is indistinguishable from one that
+works. The self-test runs a small clean soak scenario (which must pass),
+then *tampers with the stream* -- dropping the first ``job_completed``
+(the teardown record for a finished job) and, separately, the first
+``node_recovered`` (the lease-revoke/recovery record for a failed node)
+-- and asserts the checker reports each seeded violation, naming the
+offending job or server. ``repro soak --self-test`` runs this in CI, so a
+regression that silently blinds an invariant fails the build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import EVENT_JOB_COMPLETED, EVENT_NODE_RECOVERED
+
+#: A small scenario with one planned node crash: finishes in seconds, yet
+#: exercises completions, checkpoints, an outage and the accounting event.
+SELFTEST_SCENARIO: Dict = {
+    "name": "checker-selftest",
+    "seed": 0,
+    "servers": 6,
+    "horizon": 86_400.0,
+    "interval": 600.0,
+    "checkpoint_interval": 600.0,
+    "workload": [{"arrivals": "uniform", "jobs": 3, "window": 1_200.0}],
+    "plan": {
+        "node_crashes": [{"time": 900.0, "server": "node-1", "duration": 900.0}]
+    },
+    "checker": {"recovery_slack": 600.0, "strict_end": True},
+}
+
+
+def _drop_first(events: List[Dict], kind: str) -> Optional[Dict]:
+    """Remove the first event of *kind* in place; returns it (or None)."""
+    for i, event in enumerate(events):
+        if event.get("event") == kind:
+            return events.pop(i)
+    return None
+
+
+def run_selftest(seed: int = 0) -> Dict:
+    """Run the checker self-test; returns a machine-readable verdict.
+
+    ``{"ok": bool, "cases": [{name, expected, subject, detected, ...}]}``
+    -- ``ok`` requires the untampered baseline to be clean AND every
+    seeded violation to be detected with the right subject.
+    """
+    from repro.sim.soak import ScenarioSpec, checker_config_from_spec, run_soak
+    from repro.soak.checker import check_events
+
+    spec = dict(SELFTEST_SCENARIO)
+    spec["seed"] = seed
+    scenario = ScenarioSpec.from_dict(spec)
+    outcome = run_soak(scenario)
+    cases = [
+        {
+            "name": "baseline-clean",
+            "expected": None,
+            "subject": None,
+            "detected": outcome.ok,
+            "violations": [v.to_dict() for v in outcome.violations],
+        }
+    ]
+
+    cfg = checker_config_from_spec(scenario.checker, interval=scenario.interval)
+    tampered_specs = (
+        # A finished job whose teardown record vanished from the stream.
+        ("dropped-completion", EVENT_JOB_COMPLETED, "job_id",
+         ("completion-missing", "lost-job")),
+        # A failed node whose recovery (lease revoke) never made the stream.
+        ("dropped-recovery", EVENT_NODE_RECOVERED, "server",
+         ("recovery-overdue",)),
+    )
+    for name, kind, subject_key, expected in tampered_specs:
+        events = [dict(e) for e in outcome.events]
+        dropped = _drop_first(events, kind)
+        if dropped is None:
+            cases.append(
+                {
+                    "name": name,
+                    "expected": list(expected),
+                    "subject": None,
+                    "detected": False,
+                    "error": f"scenario emitted no {kind} event to drop",
+                }
+            )
+            continue
+        subject = dropped.get(subject_key)
+        checker = check_events(events, cfg)
+        hits = [
+            v.to_dict()
+            for v in checker.violations
+            if v.invariant in expected and v.subject == subject
+        ]
+        cases.append(
+            {
+                "name": name,
+                "expected": list(expected),
+                "subject": subject,
+                "detected": bool(hits),
+                "violations": hits,
+            }
+        )
+
+    return {"ok": all(case["detected"] for case in cases), "cases": cases}

@@ -6,10 +6,13 @@ observation generators, job specifications and arrival processes.
 """
 
 from repro.workloads.arrivals import (
+    bursty_arrivals,
+    diurnal_arrivals,
     google_trace_arrivals,
     poisson_arrivals,
     uniform_arrivals,
 )
+from repro.workloads.csvtrace import jobs_from_csv, load_csv_trace
 from repro.workloads.job import (
     DEFAULT_PS_DEMAND,
     DEFAULT_WORKER_DEMAND,
@@ -84,4 +87,8 @@ __all__ = [
     "uniform_arrivals",
     "poisson_arrivals",
     "google_trace_arrivals",
+    "diurnal_arrivals",
+    "bursty_arrivals",
+    "jobs_from_csv",
+    "load_csv_trace",
 ]

@@ -11,6 +11,12 @@ with arrival times filled in:
   cluster trace (Fig. 17b): a background Poisson process overlaid with a few
   high-rate spikes, reproducing the trace's bursty "many job arrival spikes"
   character that the paper calls out.
+* :func:`diurnal_arrivals` -- a non-homogeneous process whose intensity
+  follows a day/night cycle (production clusters see most submissions
+  during working hours); used by the long-horizon soak scenarios.
+* :func:`bursty_arrivals` -- a uniform background with explicit,
+  caller-scheduled spikes: the controllable version of the Google-trace
+  shape, used by the soak engine's arrival-spike chaos.
 
 Each arrival picks a random Table-1 model, a random training mode (unless
 pinned) and a convergence threshold uniform in the configured range,
@@ -20,6 +26,7 @@ like the paper does, so every job finishes within a simulated workday.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -179,4 +186,105 @@ def google_trace_arrivals(
         center = spike_centers[i % num_spikes]
         times.append(float(np.clip(center + rng.uniform(0, 120.0), 0, duration)))
     times.extend(float(t) for t in rng.uniform(0.0, duration, size=n_background))
+    return _build_jobs(times, seed, models, mode, threshold_range)
+
+
+def diurnal_arrivals(
+    num_jobs: int = 24,
+    duration: float = 86_400.0,
+    period: float = 86_400.0,
+    peak_time: float = 0.5,
+    amplitude: float = 0.8,
+    seed: SeedLike = None,
+    models: Optional[Sequence[str]] = None,
+    mode: Optional[str] = None,
+    threshold_range: tuple = THRESHOLD_RANGE,
+) -> List[JobSpec]:
+    """A day/night arrival cycle (non-homogeneous, rejection-sampled).
+
+    The instantaneous arrival intensity is ``1 + amplitude * cos(2pi *
+    (t - peak) / period)`` with ``peak = peak_time * period`` -- i.e.
+    submissions cluster around ``peak_time`` within each period (0.5 =
+    midday of a 24 h period). ``amplitude`` in ``[0, 1)`` sets how quiet
+    the troughs get; ``0`` degenerates to :func:`uniform_arrivals`.
+    Exactly ``num_jobs`` jobs are produced, all inside ``[0, duration]``.
+    """
+    if num_jobs < 1:
+        raise ConfigurationError("num_jobs must be >= 1")
+    if duration <= 0 or period <= 0:
+        raise ConfigurationError("duration and period must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ConfigurationError("amplitude must be in [0, 1)")
+    if not 0.0 <= peak_time <= 1.0:
+        raise ConfigurationError("peak_time must be in [0, 1]")
+    rng = spawn_rng(seed, "diurnal-arrivals")
+    peak = peak_time * period
+    times: List[float] = []
+    # Thinning: uniform candidates accepted proportionally to intensity.
+    # Acceptance probability is >= (1 - amplitude) / (1 + amplitude) > 0,
+    # so the loop terminates; the attempt cap is a belt-and-braces bound
+    # for pathological amplitude draws under property testing.
+    attempts = 0
+    max_attempts = 1000 * num_jobs
+    while len(times) < num_jobs and attempts < max_attempts:
+        attempts += 1
+        t = float(rng.uniform(0.0, duration))
+        intensity = 1.0 + amplitude * math.cos(2.0 * math.pi * (t - peak) / period)
+        if rng.random() * (1.0 + amplitude) <= intensity:
+            times.append(t)
+    while len(times) < num_jobs:  # cap hit: fill uniformly, stay bounded
+        times.append(float(rng.uniform(0.0, duration)))
+    return _build_jobs(times, seed, models, mode, threshold_range)
+
+
+def bursty_arrivals(
+    num_jobs: int = 20,
+    duration: float = 12_000.0,
+    spike_times: Optional[Sequence[float]] = None,
+    spike_width: float = 600.0,
+    background_fraction: float = 0.4,
+    num_spikes: int = 3,
+    seed: SeedLike = None,
+    models: Optional[Sequence[str]] = None,
+    mode: Optional[str] = None,
+    threshold_range: tuple = THRESHOLD_RANGE,
+) -> List[JobSpec]:
+    """Uniform background plus explicit arrival spikes.
+
+    Unlike :func:`google_trace_arrivals`, the spike instants are under
+    caller control: ``spike_times`` names them exactly (clamped into the
+    horizon), otherwise ``num_spikes`` centres are drawn uniformly.
+    ``background_fraction`` of the jobs arrive uniformly over the whole
+    window; the remainder are dealt round-robin across the spikes, each
+    arriving within ``spike_width`` seconds after its spike centre.
+    ``background_fraction=0`` produces a pure spike train -- the soak
+    engine's "arrival spike" chaos ingredient.
+    """
+    if num_jobs < 1:
+        raise ConfigurationError("num_jobs must be >= 1")
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    if spike_width <= 0:
+        raise ConfigurationError("spike_width must be positive")
+    if not 0.0 <= background_fraction <= 1.0:
+        raise ConfigurationError("background_fraction must be in [0, 1]")
+    rng = spawn_rng(seed, "bursty-arrivals")
+    if spike_times is None:
+        if num_spikes < 1:
+            raise ConfigurationError("num_spikes must be >= 1")
+        centers = [float(t) for t in rng.uniform(0.0, duration, size=num_spikes)]
+    else:
+        if not spike_times:
+            raise ConfigurationError("spike_times must not be empty")
+        centers = [min(max(float(t), 0.0), duration) for t in spike_times]
+    n_background = int(round(num_jobs * background_fraction))
+    n_spiky = num_jobs - n_background
+    times: List[float] = [
+        float(t) for t in rng.uniform(0.0, duration, size=n_background)
+    ]
+    for i in range(n_spiky):
+        center = centers[i % len(centers)]
+        times.append(
+            float(np.clip(center + rng.uniform(0.0, spike_width), 0.0, duration))
+        )
     return _build_jobs(times, seed, models, mode, threshold_range)

@@ -1,0 +1,183 @@
+"""External CSV job-trace ingestion (PAI-style schema).
+
+Production schedulers are evaluated against real cluster traces; the
+SNIPPETS.md exemplar simulator replays a PAI trace whose rows carry an
+arrival instant, a duration *estimate* and a GPU demand. This module maps
+that schema onto this library's :class:`~repro.workloads.job.JobSpec`:
+
+* ``arrival`` -- submission time in seconds from trace start;
+* ``duration`` -- the owner's runtime estimate on one device (seconds);
+  each row is matched to the Table-1 zoo model whose single-GPU
+  convergence time is nearest in log-space, then the dataset is scaled so
+  the job's ground-truth single-GPU duration equals the estimate;
+* ``gpus`` -- the owner's device-count request, mapped onto the static
+  ``requested_workers``/``requested_ps`` pair (clamped to
+  :data:`MAX_REQUESTED_TASKS`).
+
+Optional columns: ``job_id`` (synthesised as ``csv-<row>`` when absent)
+and ``mode`` (``sync``/``async``; defaults to ``sync``). Header aliases
+from common trace exports are accepted (``submit_time``, ``num_gpu``,
+``gpu_request``...).
+
+Every validation error is a :class:`ConfigurationError` (a ``ValueError``)
+carrying the 1-based *line number* of the offending row -- non-numeric
+cells, non-positive demands and negative arrivals are rejected, never
+silently clamped.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.job import JobSpec, make_job
+from repro.workloads.profiles import MODEL_ZOO
+
+#: Upper bound applied to per-role task requests derived from ``gpus``.
+MAX_REQUESTED_TASKS = 16
+
+#: Bounds on the dataset rescale used to match a row's duration estimate;
+#: keeps absurd estimates from producing degenerate (or eternal) jobs.
+DURATION_SCALE_RANGE = (0.005, 20.0)
+
+#: Accepted header spellings, canonical name first.
+COLUMN_ALIASES = {
+    "job_id": ("job_id", "job_name", "jobid", "name", "job"),
+    "arrival": ("arrival", "arrival_time", "submit_time", "submission_time"),
+    "duration": ("duration", "duration_estimate", "duration_est", "runtime"),
+    "gpus": ("gpus", "gpu", "num_gpu", "num_gpus", "gpu_request", "gpu_num"),
+    "mode": ("mode", "training_mode"),
+}
+
+REQUIRED_COLUMNS = ("arrival", "duration", "gpus")
+
+
+def _resolve_columns(fieldnames: Iterable[str]) -> Dict[str, str]:
+    """Map canonical column names onto the header actually present."""
+    normalized = {name.strip().lower(): name for name in fieldnames if name}
+    resolved: Dict[str, str] = {}
+    for canonical, aliases in COLUMN_ALIASES.items():
+        for alias in aliases:
+            if alias in normalized:
+                resolved[canonical] = normalized[alias]
+                break
+    missing = [name for name in REQUIRED_COLUMNS if name not in resolved]
+    if missing:
+        raise ConfigurationError(
+            "CSV trace header is missing required column(s): "
+            f"{', '.join(missing)} (accepted aliases: "
+            + "; ".join(
+                f"{name}={'/'.join(COLUMN_ALIASES[name])}" for name in missing
+            )
+            + ")"
+        )
+    return resolved
+
+
+def _parse_float(value: Optional[str], column: str, line: int) -> float:
+    if value is None or not str(value).strip():
+        raise ConfigurationError(f"CSV trace line {line}: empty {column!r} cell")
+    try:
+        parsed = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"CSV trace line {line}: {column!r} must be a number, got {value!r}"
+        ) from None
+    if math.isnan(parsed) or math.isinf(parsed):
+        raise ConfigurationError(
+            f"CSV trace line {line}: {column!r} must be finite, got {value!r}"
+        )
+    return parsed
+
+
+def _nearest_model(duration: float) -> str:
+    """The zoo model whose single-GPU convergence time is nearest in log-space."""
+    return min(
+        MODEL_ZOO,
+        key=lambda name: abs(
+            math.log(MODEL_ZOO[name].single_gpu_training_time()) - math.log(duration)
+        ),
+    )
+
+
+def _job_from_row(
+    row: Dict[str, str], columns: Dict[str, str], line: int
+) -> JobSpec:
+    arrival = _parse_float(row.get(columns["arrival"]), "arrival", line)
+    duration = _parse_float(row.get(columns["duration"]), "duration", line)
+    gpus = _parse_float(row.get(columns["gpus"]), "gpus", line)
+    if arrival < 0:
+        raise ConfigurationError(
+            f"CSV trace line {line}: arrival must be non-negative, got {arrival}"
+        )
+    if duration <= 0:
+        raise ConfigurationError(
+            f"CSV trace line {line}: duration must be positive, got {duration}"
+        )
+    if gpus <= 0 or gpus != int(gpus):
+        raise ConfigurationError(
+            f"CSV trace line {line}: gpus must be a positive integer, got {gpus!r}"
+        )
+    model = _nearest_model(duration)
+    reference = MODEL_ZOO[model].single_gpu_training_time()
+    lo, hi = DURATION_SCALE_RANGE
+    scale = min(max(duration / reference, lo), hi)
+    request = min(int(gpus), MAX_REQUESTED_TASKS)
+    job_id = (row.get(columns["job_id"]) or "").strip() if "job_id" in columns else ""
+    mode = (row.get(columns["mode"]) or "").strip() if "mode" in columns else ""
+    if mode and mode not in ("sync", "async"):
+        raise ConfigurationError(
+            f"CSV trace line {line}: mode must be 'sync' or 'async', got {mode!r}"
+        )
+    return make_job(
+        model,
+        mode=mode or "sync",
+        job_id=job_id or f"csv-{line}",
+        dataset_scale=scale,
+        arrival_time=arrival,
+        requested_workers=request,
+        requested_ps=request,
+    )
+
+
+def jobs_from_csv(source: Union[str, Iterable[str]]) -> List[JobSpec]:
+    """Parse a PAI-style CSV trace into a sorted list of :class:`JobSpec`.
+
+    *source* is the CSV text (or any iterable of lines, e.g. an open
+    file). The first row must be a header naming at least the ``arrival``,
+    ``duration`` and ``gpus`` columns (aliases accepted, see
+    :data:`COLUMN_ALIASES`).
+    """
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    reader = csv.DictReader(source)
+    if reader.fieldnames is None:
+        raise ConfigurationError("CSV trace is empty (no header row)")
+    columns = _resolve_columns(reader.fieldnames)
+    jobs: List[JobSpec] = []
+    seen: Dict[str, int] = {}
+    for row in reader:
+        line = reader.line_num
+        if not any((value or "").strip() for value in row.values()):
+            continue  # blank line
+        job = _job_from_row(row, columns, line)
+        if job.job_id in seen:
+            raise ConfigurationError(
+                f"CSV trace line {line}: duplicate job_id {job.job_id!r} "
+                f"(first used on line {seen[job.job_id]})"
+            )
+        seen[job.job_id] = line
+        jobs.append(job)
+    if not jobs:
+        raise ConfigurationError("CSV trace contains no job rows")
+    jobs.sort(key=lambda j: (j.arrival_time, j.job_id))
+    return jobs
+
+
+def load_csv_trace(path: str) -> List[JobSpec]:
+    """Read a PAI-style CSV job trace from *path*."""
+    with open(path, newline="") as handle:
+        return jobs_from_csv(handle)

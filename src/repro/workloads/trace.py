@@ -12,7 +12,7 @@ demands, arrival, static requests, dataset scale) round-trip exactly.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cluster.resources import ResourceVector
 from repro.common.errors import ConfigurationError
@@ -39,12 +39,60 @@ def job_to_dict(job: JobSpec) -> Dict:
     }
 
 
-def job_from_dict(data: Dict) -> JobSpec:
-    """Rebuild a job from :func:`job_to_dict` output."""
+#: Fields every trace record must carry; the optional rest have defaults.
+REQUIRED_JOB_FIELDS = (
+    "job_id",
+    "model",
+    "mode",
+    "threshold",
+    "worker_demand",
+    "ps_demand",
+)
+
+
+def _record_label(data: Dict, index: Optional[int]) -> str:
+    """A human-pointable name for one record in an error message."""
+    where = f"trace record {index}" if index is not None else "trace record"
+    job_id = data.get("job_id") if isinstance(data, dict) else None
+    if job_id:
+        where += f" (job_id={job_id!r})"
+    return where
+
+
+def job_from_dict(data: Dict, index: Optional[int] = None) -> JobSpec:
+    """Rebuild a job from :func:`job_to_dict` output.
+
+    Malformed records raise :class:`ConfigurationError` (a ``ValueError``)
+    naming the offending field and record -- never a bare ``KeyError`` or
+    ``TypeError`` from deep inside the constructor chain.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{_record_label({}, index)} must be an object, got {type(data).__name__}"
+        )
+    missing = [name for name in REQUIRED_JOB_FIELDS if name not in data]
+    if missing:
+        raise ConfigurationError(
+            f"{_record_label(data, index)} missing field(s): {', '.join(missing)}"
+        )
+    label = _record_label(data, index)
+    try:
+        profile = get_profile(data["model"])
+    except (ConfigurationError, TypeError) as exc:
+        raise ConfigurationError(f"{label}: bad field 'model': {exc}") from None
+    for name, kind in (
+        ("worker_demand", "worker_demand"),
+        ("ps_demand", "ps_demand"),
+    ):
+        if not isinstance(data[name], dict):
+            raise ConfigurationError(
+                f"{label}: bad field {kind!r}: expected a resource mapping, "
+                f"got {type(data[name]).__name__}"
+            )
     try:
         return JobSpec(
             job_id=data["job_id"],
-            profile=get_profile(data["model"]),
+            profile=profile,
             mode=data["mode"],
             threshold=data["threshold"],
             patience=data.get("patience", 2),
@@ -55,8 +103,10 @@ def job_from_dict(data: Dict) -> JobSpec:
             requested_workers=data.get("requested_workers", 4),
             requested_ps=data.get("requested_ps", 4),
         )
-    except KeyError as missing:
-        raise ConfigurationError(f"trace record missing field {missing}") from None
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{label}: {exc}") from None
+    except TypeError as exc:
+        raise ConfigurationError(f"{label}: bad field value: {exc}") from None
 
 
 def jobs_to_json(jobs: Sequence[JobSpec], indent: int = 2) -> str:
@@ -81,10 +131,21 @@ def jobs_from_json(payload: Union[str, bytes]) -> List[JobSpec]:
         raise ConfigurationError(
             f"unsupported trace version {version!r} (supported: {TRACE_VERSION})"
         )
-    jobs = [job_from_dict(record) for record in data["jobs"]]
-    ids = [job.job_id for job in jobs]
-    if len(set(ids)) != len(ids):
-        raise ConfigurationError("trace contains duplicate job ids")
+    if not isinstance(data["jobs"], list):
+        raise ConfigurationError(
+            f"trace 'jobs' must be a list, got {type(data['jobs']).__name__}"
+        )
+    jobs = [
+        job_from_dict(record, index=i) for i, record in enumerate(data["jobs"])
+    ]
+    seen: Dict[str, int] = {}
+    for i, job in enumerate(jobs):
+        if job.job_id in seen:
+            raise ConfigurationError(
+                f"trace records {seen[job.job_id]} and {i} share job_id "
+                f"{job.job_id!r}; ids must be unique"
+            )
+        seen[job.job_id] = i
     return jobs
 
 

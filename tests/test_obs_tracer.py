@@ -46,6 +46,9 @@ class TestEventSchema:
             "span",
             "estimator_sample",
             "estimator_drift",
+            # soak harness: checkpoint audit + terminal run accounting
+            "checkpoint_recorded",
+            "run_completed",
         }
 
     def test_emit_builds_typed_payload(self):

@@ -1,0 +1,191 @@
+"""Property tests for every arrival generator (hypothesis).
+
+Shared contract: each generator returns jobs sorted by arrival time, every
+arrival is non-negative, and every arrival lies inside the generator's
+horizon (``window`` for uniform, ``duration`` for the rest).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.workloads import (
+    bursty_arrivals,
+    diurnal_arrivals,
+    google_trace_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def assert_arrival_contract(jobs, horizon):
+    times = [job.arrival_time for job in jobs]
+    assert times == sorted(times)
+    assert all(t >= 0.0 for t in times)
+    assert all(t <= horizon for t in times)
+    assert len({job.job_id for job in jobs}) == len(jobs)
+
+
+class TestUniform:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_jobs=st.integers(1, 40),
+        window=st.floats(0.0, 1e6, allow_nan=False),
+        seed=seeds,
+    )
+    def test_contract(self, num_jobs, window, seed):
+        jobs = uniform_arrivals(num_jobs=num_jobs, window=window, seed=seed)
+        assert len(jobs) == num_jobs
+        assert_arrival_contract(jobs, window)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            uniform_arrivals(num_jobs=0)
+        with pytest.raises(ConfigurationError):
+            uniform_arrivals(window=-1.0)
+
+
+class TestPoisson:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rate=st.floats(0.1, 20.0),
+        interval=st.floats(10.0, 3600.0),
+        duration=st.floats(100.0, 100_000.0),
+        seed=seeds,
+    )
+    def test_contract(self, rate, interval, duration, seed):
+        jobs = poisson_arrivals(
+            rate_per_interval=rate, interval=interval, duration=duration, seed=seed
+        )
+        assert jobs  # at least one job even on degenerate draws
+        assert_arrival_contract(jobs, duration)
+        assert all(job.arrival_time < duration for job in jobs)
+
+    def test_rejects_bad_args(self):
+        for kwargs in (
+            {"rate_per_interval": 0.0},
+            {"interval": -1.0},
+            {"duration": 0.0},
+        ):
+            with pytest.raises(ConfigurationError):
+                poisson_arrivals(**kwargs)
+
+
+class TestGoogleTrace:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_jobs=st.integers(1, 60),
+        duration=st.floats(100.0, 100_000.0),
+        num_spikes=st.integers(1, 8),
+        spike_fraction=st.floats(0.0, 1.0),
+        seed=seeds,
+    )
+    def test_contract(self, num_jobs, duration, num_spikes, spike_fraction, seed):
+        jobs = google_trace_arrivals(
+            num_jobs=num_jobs,
+            duration=duration,
+            num_spikes=num_spikes,
+            spike_fraction=spike_fraction,
+            seed=seed,
+        )
+        assert len(jobs) == num_jobs
+        assert_arrival_contract(jobs, duration)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            google_trace_arrivals(num_spikes=0)
+        with pytest.raises(ConfigurationError):
+            google_trace_arrivals(spike_fraction=1.5)
+
+
+class TestDiurnal:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_jobs=st.integers(1, 60),
+        duration=st.floats(100.0, 400_000.0),
+        period=st.floats(100.0, 200_000.0),
+        peak_time=st.floats(0.0, 1.0),
+        amplitude=st.floats(0.0, 0.999),
+        seed=seeds,
+    )
+    def test_contract(self, num_jobs, duration, period, peak_time, amplitude, seed):
+        jobs = diurnal_arrivals(
+            num_jobs=num_jobs,
+            duration=duration,
+            period=period,
+            peak_time=peak_time,
+            amplitude=amplitude,
+            seed=seed,
+        )
+        assert len(jobs) == num_jobs
+        assert_arrival_contract(jobs, duration)
+
+    def test_zero_amplitude_is_uniformlike(self):
+        jobs = diurnal_arrivals(num_jobs=30, duration=1000.0, amplitude=0.0, seed=1)
+        assert_arrival_contract(jobs, 1000.0)
+
+    def test_rejects_bad_args(self):
+        for kwargs in (
+            {"amplitude": 1.0},
+            {"amplitude": -0.1},
+            {"peak_time": 1.5},
+            {"duration": 0.0},
+            {"period": -5.0},
+            {"num_jobs": 0},
+        ):
+            with pytest.raises(ConfigurationError):
+                diurnal_arrivals(**kwargs)
+
+
+class TestBursty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_jobs=st.integers(1, 60),
+        duration=st.floats(100.0, 100_000.0),
+        spike_width=st.floats(1.0, 5000.0),
+        background_fraction=st.floats(0.0, 1.0),
+        num_spikes=st.integers(1, 6),
+        seed=seeds,
+    )
+    def test_contract(
+        self, num_jobs, duration, spike_width, background_fraction, num_spikes, seed
+    ):
+        jobs = bursty_arrivals(
+            num_jobs=num_jobs,
+            duration=duration,
+            spike_width=spike_width,
+            background_fraction=background_fraction,
+            num_spikes=num_spikes,
+            seed=seed,
+        )
+        assert len(jobs) == num_jobs
+        assert_arrival_contract(jobs, duration)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        spike_times=st.lists(st.floats(-1e5, 2e5, allow_nan=False), min_size=1, max_size=5),
+        seed=seeds,
+    )
+    def test_explicit_spikes_clamped_into_horizon(self, spike_times, seed):
+        jobs = bursty_arrivals(
+            num_jobs=12,
+            duration=10_000.0,
+            spike_times=spike_times,
+            background_fraction=0.0,
+            seed=seed,
+        )
+        assert_arrival_contract(jobs, 10_000.0)
+
+    def test_rejects_bad_args(self):
+        for kwargs in (
+            {"background_fraction": -0.5},
+            {"background_fraction": 2.0},
+            {"spike_width": 0.0},
+            {"spike_times": []},
+            {"duration": -1.0},
+            {"num_jobs": 0},
+        ):
+            with pytest.raises(ConfigurationError):
+                bursty_arrivals(**kwargs)

@@ -1,0 +1,323 @@
+"""Unit tests for the streaming trace invariant checker."""
+
+import json
+
+from repro.soak import CheckerConfig, InvariantChecker, Violation, check_events
+from repro.soak.checker import check_trace_file
+
+
+def E(seq, time, event, **fields):
+    record = {"seq": seq, "time": time, "event": event}
+    record.update(fields)
+    return record
+
+
+def invariants(checker):
+    return [v.invariant for v in checker.violations]
+
+
+def stream(*events, config=None):
+    return check_events(list(events), config)
+
+
+CLEAN = [
+    E(0, 0.0, "job_arrived", job_id="a"),
+    E(1, 0.0, "allocation_decided", job_id="a", num_worker=2, num_ps=2),
+    E(2, 600.0, "job_completed", job_id="a", completion_time=600.0),
+]
+
+
+class TestStreamIntegrity:
+    def test_clean_stream_ok(self):
+        assert stream(*CLEAN).ok
+
+    def test_seq_regression(self):
+        checker = stream(E(5, 0.0, "interval_tick"), E(3, 10.0, "interval_tick"))
+        assert invariants(checker) == ["seq-monotonic"]
+
+    def test_seq_duplicate(self):
+        checker = stream(E(5, 0.0, "interval_tick"), E(5, 10.0, "interval_tick"))
+        assert invariants(checker) == ["seq-monotonic"]
+
+    def test_observe_returns_new_violations(self):
+        checker = InvariantChecker()
+        assert checker.observe(E(0, 0.0, "job_arrived", job_id="a")) == []
+        fresh = checker.observe(E(1, 0.0, "job_arrived", job_id="a"))
+        assert [v.invariant for v in fresh] == ["duplicate-arrival"]
+
+
+class TestJobInvariants:
+    def test_unknown_job_completion(self):
+        checker = stream(E(0, 0.0, "job_completed", job_id="ghost"))
+        assert "unknown-job" in invariants(checker)
+        assert checker.violations[0].subject == "ghost"
+
+    def test_unknown_job_other_kinds(self):
+        for kind in ("allocation_decided", "task_crashed", "job_restarted",
+                     "checkpoint_recorded"):
+            checker = stream(E(0, 0.0, kind, job_id="ghost"))
+            assert "unknown-job" in invariants(checker), kind
+
+    def test_duplicate_completion(self):
+        checker = stream(
+            *CLEAN, E(3, 700.0, "job_completed", job_id="a", completion_time=700.0)
+        )
+        assert invariants(checker) == ["duplicate-completion"]
+
+    def test_lost_job_strict_end(self):
+        checker = stream(
+            E(0, 0.0, "job_arrived", job_id="a"),
+            config=CheckerConfig(strict_end=True),
+        )
+        assert invariants(checker) == ["lost-job"]
+        assert checker.violations[0].subject == "a"
+
+    def test_unfinished_job_ok_without_strict_end(self):
+        assert stream(E(0, 0.0, "job_arrived", job_id="a")).ok
+
+    def test_accounted_unfinished_job_ok(self):
+        checker = stream(
+            E(0, 0.0, "job_arrived", job_id="a"),
+            E(1, 600.0, "run_completed", finished=[], unfinished=["a"],
+              leaked_pods=[], leaked_leases=[], leaked_intents=[]),
+            config=CheckerConfig(strict_end=True, require_accounting=True),
+        )
+        assert checker.ok
+
+    def test_completion_missing_vs_accounting(self):
+        checker = stream(
+            E(0, 0.0, "job_arrived", job_id="a"),
+            E(1, 600.0, "run_completed", finished=["a"], unfinished=[],
+              leaked_pods=[], leaked_leases=[], leaked_intents=[]),
+        )
+        # the phantom completion is also a lost job: arrived, never
+        # completed on-stream, not accounted unfinished
+        assert invariants(checker) == ["completion-missing", "lost-job"]
+
+
+class TestNodeInvariants:
+    def test_double_failure(self):
+        checker = stream(
+            E(0, 0.0, "node_failed", server="n0", up_at=100.0),
+            E(1, 10.0, "node_failed", server="n0", up_at=110.0),
+        )
+        assert "node-lifecycle" in invariants(checker)
+
+    def test_recover_without_failure(self):
+        checker = stream(E(0, 0.0, "node_recovered", server="n0"))
+        assert invariants(checker) == ["node-lifecycle"]
+
+    def test_timely_recovery_ok(self):
+        checker = stream(
+            E(0, 0.0, "node_failed", server="n0", up_at=100.0),
+            E(1, 120.0, "node_recovered", server="n0"),
+            config=CheckerConfig(recovery_slack=50.0),
+        )
+        assert checker.ok
+
+    def test_overdue_recovery_flagged_after_grace_boundary(self):
+        # First past-deadline event only arms the grace window; the
+        # violation fires when a strictly later timestamp arrives with the
+        # outage still open.
+        cfg = CheckerConfig(recovery_slack=50.0)
+        checker = InvariantChecker(cfg)
+        checker.observe(E(0, 0.0, "node_failed", server="n0", up_at=100.0))
+        assert checker.observe(E(1, 200.0, "interval_tick")) == []
+        fresh = checker.observe(E(2, 300.0, "interval_tick"))
+        assert [v.invariant for v in fresh] == ["recovery-overdue"]
+        assert fresh[0].subject == "n0"
+        # flagged once, not re-flagged per event
+        checker.observe(E(3, 400.0, "interval_tick"))
+        assert len(checker.violations) == 1
+
+    def test_deferred_recovery_at_grace_boundary_ok(self):
+        # Idle-trough deferral: admissions at the resumed boundary precede
+        # the recovery; same-timestamp recovery must not be a violation.
+        cfg = CheckerConfig(recovery_slack=50.0)
+        checker = stream(
+            E(0, 0.0, "node_failed", server="n0", up_at=100.0),
+            E(1, 7200.0, "job_arrived", job_id="late"),
+            E(2, 7200.0, "node_recovered", server="n0"),
+            E(3, 7800.0, "job_completed", job_id="late"),
+            config=cfg,
+        )
+        assert checker.ok
+
+    def test_open_outage_at_end_strict(self):
+        checker = stream(
+            E(0, 0.0, "node_failed", server="n0", up_at=100.0),
+            E(1, 5000.0, "interval_tick"),
+            E(2, 5000.0, "interval_tick"),
+            config=CheckerConfig(recovery_slack=50.0, strict_end=True),
+        )
+        # grace boundary never passed (no strictly-later event), but
+        # strict_end still reports the outage as overdue at stream end
+        assert invariants(checker) == ["recovery-overdue"]
+
+    def test_end_of_stream_crash_inside_window_ok(self):
+        checker = stream(
+            E(0, 0.0, "interval_tick"),
+            E(1, 100.0, "node_failed", server="n0", up_at=500.0),
+            config=CheckerConfig(recovery_slack=50.0, strict_end=True),
+        )
+        assert checker.ok
+
+
+class TestRestartAndCheckpoints:
+    def _arrive(self, checker, job="a"):
+        checker.observe(E(0, 0.0, "job_arrived", job_id=job))
+
+    def test_negative_rollback(self):
+        checker = stream(
+            E(0, 0.0, "job_arrived", job_id="a"),
+            E(1, 10.0, "job_restarted", job_id="a", steps_lost=-3),
+        )
+        assert "rollback-negative" in invariants(checker)
+
+    def test_rollback_bound(self):
+        cfg = CheckerConfig(rollback_bound=100.0)
+        checker = stream(
+            E(0, 0.0, "job_arrived", job_id="a"),
+            E(1, 10.0, "job_restarted", job_id="a", since_checkpoint=150.0),
+            config=cfg,
+        )
+        assert "rollback-bound" in invariants(checker)
+
+    def test_rollback_bound_doubled_when_checkpoint_lost(self):
+        cfg = CheckerConfig(rollback_bound=100.0)
+        checker = stream(
+            E(0, 0.0, "job_arrived", job_id="a"),
+            E(1, 10.0, "job_restarted", job_id="a", since_checkpoint=150.0,
+              checkpoint_lost=True),
+            config=cfg,
+        )
+        assert checker.ok
+
+    def test_checkpoint_regression(self):
+        checker = stream(
+            E(0, 0.0, "job_arrived", job_id="a"),
+            E(1, 10.0, "checkpoint_recorded", job_id="a", steps=50),
+            E(2, 20.0, "checkpoint_recorded", job_id="a", steps=30),
+        )
+        assert invariants(checker) == ["checkpoint-monotonic"]
+
+    def test_checkpoint_regress_allowed_after_lost_checkpoint(self):
+        checker = stream(
+            E(0, 0.0, "job_arrived", job_id="a"),
+            E(1, 10.0, "checkpoint_recorded", job_id="a", steps=50),
+            E(2, 15.0, "job_restarted", job_id="a", checkpoint_lost=True),
+            E(3, 20.0, "checkpoint_recorded", job_id="a", steps=10),
+            E(4, 25.0, "checkpoint_recorded", job_id="a", steps=5),
+        )
+        # one regression forgiven (the post-loss restart), the second not
+        assert invariants(checker) == ["checkpoint-monotonic"]
+
+    def test_restart_stall_opt_in(self):
+        cfg = CheckerConfig(stall_bound=100.0)
+        checker = stream(
+            E(0, 0.0, "job_arrived", job_id="a"),
+            E(1, 10.0, "job_restarted", job_id="a"),
+            E(2, 500.0, "interval_tick"),
+            config=cfg,
+        )
+        assert "restart-stall" in invariants(checker)
+
+    def test_restart_then_allocation_ok(self):
+        cfg = CheckerConfig(stall_bound=100.0)
+        checker = stream(
+            E(0, 0.0, "job_arrived", job_id="a"),
+            E(1, 10.0, "job_restarted", job_id="a"),
+            E(2, 50.0, "allocation_decided", job_id="a", num_worker=1, num_ps=1),
+            E(3, 500.0, "interval_tick"),
+            config=cfg,
+        )
+        assert checker.ok
+
+
+class TestSpansAndAccounting:
+    def test_dangling_span_parent(self):
+        checker = stream(E(0, 5.0, "span", span_id=7, parent_id=3, name="child"))
+        assert invariants(checker) == ["span-parent-missing"]
+        assert checker.violations[0].subject == "3"
+
+    def test_closed_span_tree_ok(self):
+        checker = stream(
+            E(0, 5.0, "span", span_id=7, parent_id=3, name="child"),
+            E(1, 6.0, "span", span_id=3, name="parent"),
+        )
+        assert checker.ok
+
+    def test_leaks_reported_from_accounting(self):
+        checker = stream(
+            E(0, 600.0, "run_completed", finished=[], unfinished=[],
+              leaked_pods=["pod-1"], leaked_leases=["lease-9"],
+              leaked_intents=["intent-2"]),
+        )
+        assert sorted(invariants(checker)) == [
+            "leaked-intent", "leaked-lease", "leaked-pod",
+        ]
+        subjects = {v.invariant: v.subject for v in checker.violations}
+        assert subjects["leaked-pod"] == "pod-1"
+        assert subjects["leaked-lease"] == "lease-9"
+        assert subjects["leaked-intent"] == "intent-2"
+
+    def test_accounting_required(self):
+        checker = stream(
+            *CLEAN, config=CheckerConfig(require_accounting=True)
+        )
+        assert invariants(checker) == ["accounting-missing"]
+
+    def test_duplicate_accounting(self):
+        done = E(3, 600.0, "run_completed", finished=["a"], unfinished=[],
+                 leaked_pods=[], leaked_leases=[], leaked_intents=[])
+        checker = stream(*CLEAN, done, dict(done, seq=4))
+        assert invariants(checker) == ["accounting-duplicate"]
+
+
+class TestReporting:
+    def test_report_shape(self):
+        checker = stream(*CLEAN)
+        report = checker.report(extra={"scenario": "unit"})
+        assert report["report_version"] == 1
+        assert report["ok"] is True
+        assert report["violations"] == []
+        assert report["stats"]["jobs_arrived"] == 1
+        assert report["scenario"] == "unit"
+
+    def test_violation_to_dict(self):
+        violation = Violation("lost-job", "gone", subject="a", seq=3, time=9.0)
+        assert violation.to_dict() == {
+            "invariant": "lost-job", "message": "gone",
+            "subject": "a", "seq": 3, "time": 9.0,
+        }
+
+    def test_finish_idempotent(self):
+        checker = InvariantChecker(CheckerConfig(strict_end=True))
+        checker.observe(E(0, 0.0, "job_arrived", job_id="a"))
+        checker.finish()
+        checker.finish()
+        assert len(checker.violations) == 1
+
+    def test_check_trace_file_counts_corrupt_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [json.dumps(e) for e in CLEAN]
+        path.write_text("\n".join(lines) + '\n{"torn\n')
+        checker = check_trace_file(str(path))
+        assert checker.ok
+        assert checker.counts["_corrupt_lines"] == 1
+
+
+class TestSelfTest:
+    def test_seeded_drops_detected(self):
+        from repro.soak import run_selftest
+
+        result = run_selftest()
+        assert result["ok"] is True
+        cases = {case["name"]: case for case in result["cases"]}
+        assert cases["baseline-clean"]["detected"]
+        dropped = cases["dropped-completion"]
+        assert dropped["detected"]
+        assert all(v["subject"] == dropped["subject"] for v in dropped["violations"])
+        recovery = cases["dropped-recovery"]
+        assert recovery["detected"]
+        assert recovery["subject"] == "node-1"

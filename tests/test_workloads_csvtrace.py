@@ -1,0 +1,131 @@
+"""Tests for PAI-style CSV trace ingestion (repro.workloads.csvtrace)."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads import jobs_from_csv, load_csv_trace
+from repro.workloads.csvtrace import (
+    DURATION_SCALE_RANGE,
+    MAX_REQUESTED_TASKS,
+    _nearest_model,
+)
+from repro.workloads.profiles import MODEL_ZOO
+
+GOOD_CSV = """job_id,arrival,duration,gpus,mode
+alpha,0,40000,4,sync
+beta,600,90000,8,async
+gamma,1200,12000,2,sync
+"""
+
+
+class TestHappyPath:
+    def test_parses_all_rows(self):
+        jobs = jobs_from_csv(GOOD_CSV)
+        assert [j.job_id for j in jobs] == ["alpha", "beta", "gamma"]
+        assert [j.arrival_time for j in jobs] == [0.0, 600.0, 1200.0]
+        assert jobs[1].mode == "async"
+
+    def test_sorted_by_arrival(self):
+        csv_text = "arrival,duration,gpus\n900,40000,1\n100,40000,1\n"
+        jobs = jobs_from_csv(csv_text)
+        assert [j.arrival_time for j in jobs] == [100.0, 900.0]
+
+    def test_duration_estimate_maps_to_ground_truth(self):
+        # The chosen zoo model rescaled by dataset_scale must reproduce
+        # the row's single-GPU duration estimate (within the clamp range).
+        jobs = jobs_from_csv("arrival,duration,gpus\n0,40000,2\n")
+        job = jobs[0]
+        reference = job.profile.single_gpu_training_time()
+        assert math.isclose(job.dataset_scale, 40000 / reference, rel_tol=1e-9)
+
+    def test_nearest_model_log_space(self):
+        for name, profile in MODEL_ZOO.items():
+            assert _nearest_model(profile.single_gpu_training_time()) == name
+
+    def test_gpus_clamped_to_max_tasks(self):
+        jobs = jobs_from_csv("arrival,duration,gpus\n0,40000,64\n")
+        assert jobs[0].requested_workers == MAX_REQUESTED_TASKS
+        assert jobs[0].requested_ps == MAX_REQUESTED_TASKS
+
+    def test_scale_clamped(self):
+        lo, hi = DURATION_SCALE_RANGE
+        tiny = jobs_from_csv("arrival,duration,gpus\n0,0.001,1\n")[0]
+        huge = jobs_from_csv("arrival,duration,gpus\n0,1e12,1\n")[0]
+        assert tiny.dataset_scale == lo
+        assert huge.dataset_scale == hi
+
+    def test_header_aliases(self):
+        csv_text = "submit_time,runtime,num_gpu\n5,40000,2\n"
+        jobs = jobs_from_csv(csv_text)
+        assert jobs[0].arrival_time == 5.0
+
+    def test_synthesised_job_ids_carry_line(self):
+        jobs = jobs_from_csv("arrival,duration,gpus\n0,40000,1\n10,40000,1\n")
+        assert jobs[0].job_id == "csv-2"
+        assert jobs[1].job_id == "csv-3"
+
+    def test_blank_lines_skipped(self):
+        jobs = jobs_from_csv("arrival,duration,gpus\n0,40000,1\n,,\n10,40000,1\n")
+        assert len(jobs) == 2
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(GOOD_CSV)
+        assert len(load_csv_trace(str(path))) == 3
+
+
+class TestRejection:
+    def test_errors_are_value_errors(self):
+        with pytest.raises(ValueError):
+            jobs_from_csv("arrival,duration,gpus\n-5,40000,1\n")
+
+    def test_negative_arrival_with_line(self):
+        with pytest.raises(ConfigurationError, match="line 2.*arrival"):
+            jobs_from_csv("arrival,duration,gpus\n-5,40000,1\n")
+
+    def test_nonpositive_duration_with_line(self):
+        with pytest.raises(ConfigurationError, match="line 3.*duration"):
+            jobs_from_csv("arrival,duration,gpus\n0,40000,1\n10,0,1\n")
+
+    def test_nonpositive_gpus_with_line(self):
+        with pytest.raises(ConfigurationError, match="line 2.*gpus"):
+            jobs_from_csv("arrival,duration,gpus\n0,40000,0\n")
+
+    def test_fractional_gpus_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive integer"):
+            jobs_from_csv("arrival,duration,gpus\n0,40000,1.5\n")
+
+    def test_non_numeric_cell(self):
+        with pytest.raises(ConfigurationError, match="line 2.*'duration'"):
+            jobs_from_csv("arrival,duration,gpus\n0,soon,1\n")
+
+    def test_empty_cell(self):
+        with pytest.raises(ConfigurationError, match="empty 'gpus'"):
+            jobs_from_csv("arrival,duration,gpus\n0,40000,\n")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            jobs_from_csv("arrival,duration,gpus\n0,nan,1\n")
+
+    def test_bad_mode(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            jobs_from_csv("arrival,duration,gpus,mode\n0,40000,1,turbo\n")
+
+    def test_missing_required_column(self):
+        with pytest.raises(ConfigurationError, match="missing required"):
+            jobs_from_csv("arrival,gpus\n0,1\n")
+
+    def test_empty_file(self):
+        with pytest.raises(ConfigurationError, match="no header"):
+            jobs_from_csv("")
+
+    def test_header_only(self):
+        with pytest.raises(ConfigurationError, match="no job rows"):
+            jobs_from_csv("arrival,duration,gpus\n")
+
+    def test_duplicate_job_id_names_both_lines(self):
+        csv_text = "job_id,arrival,duration,gpus\nsame,0,40000,1\nsame,10,40000,1\n"
+        with pytest.raises(ConfigurationError, match="line 3.*line 2"):
+            jobs_from_csv(csv_text)

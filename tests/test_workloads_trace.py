@@ -101,3 +101,67 @@ class TestValidation:
         payload["jobs"].append(payload["jobs"][0])
         with pytest.raises(ConfigurationError):
             jobs_from_json(json.dumps(payload))
+
+
+class TestHardenedErrors:
+    """Malformed records raise ValueErrors naming field and record."""
+
+    def test_errors_are_value_errors(self):
+        with pytest.raises(ValueError):
+            jobs_from_json("not json at all")
+
+    def test_missing_fields_all_named(self):
+        record = job_to_dict(make_job("cnn-rand", job_id="x"))
+        del record["mode"]
+        del record["threshold"]
+        with pytest.raises(ConfigurationError, match="mode.*threshold"):
+            job_from_dict(record)
+
+    def test_record_index_in_message(self):
+        payload = json.loads(jobs_to_json([make_job("cnn-rand", job_id="x")]))
+        del payload["jobs"][0]["model"]
+        with pytest.raises(ConfigurationError, match=r"trace record 0"):
+            jobs_from_json(json.dumps(payload))
+
+    def test_job_id_in_message(self):
+        record = job_to_dict(make_job("cnn-rand", job_id="who-am-i"))
+        record["model"] = "gpt-7"
+        with pytest.raises(
+            ConfigurationError, match=r"job_id='who-am-i'.*bad field 'model'"
+        ):
+            job_from_dict(record)
+
+    def test_non_dict_record(self):
+        with pytest.raises(ConfigurationError, match="trace record 1"):
+            jobs_from_json(
+                json.dumps(
+                    {
+                        "version": 1,
+                        "jobs": [
+                            job_to_dict(make_job("cnn-rand", job_id="ok")),
+                            "surprise-string",
+                        ],
+                    }
+                )
+            )
+
+    def test_demand_must_be_mapping(self):
+        record = job_to_dict(make_job("cnn-rand", job_id="x"))
+        record["worker_demand"] = [1, 2]
+        with pytest.raises(ConfigurationError, match="worker_demand"):
+            job_from_dict(record)
+
+    def test_no_bare_keyerror_from_missing_fields(self):
+        try:
+            job_from_dict({})
+        except ConfigurationError:
+            pass
+        except KeyError as exc:  # pragma: no cover - the regression itself
+            pytest.fail(f"bare KeyError escaped: {exc!r}")
+
+    def test_duplicate_names_both_records(self):
+        job = make_job("cnn-rand", job_id="dup")
+        payload = json.loads(jobs_to_json([job]))
+        payload["jobs"].append(payload["jobs"][0])
+        with pytest.raises(ConfigurationError, match=r"records 0 and 1"):
+            jobs_from_json(json.dumps(payload))
