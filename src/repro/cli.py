@@ -413,6 +413,64 @@ def _cmd_drill(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_failover(args: argparse.Namespace) -> int:
+    """Run a controller-failover drill: kill the leader, audit the takeover.
+
+    Runs a hot/standby controller pair over one KV store, kills the leader
+    the scripted way (silently, deposed mid-step behind the write fence, or
+    at a reconcile/election crash point), and audits the resulting trace
+    with the election invariants: no dual leadership, monotone fencing
+    epochs, takeover within 2x the lease TTL, no leaked pods / leases /
+    intents. Exit 0 means every invariant held.
+    """
+    from repro.deploy.failover import FailoverConfig, run_failover_drill
+
+    config = FailoverConfig(
+        seed=args.seed,
+        jobs=args.jobs,
+        servers=args.servers,
+        lease_ttl=args.lease_ttl,
+        policy=args.scheduler,
+        crash_point=args.crash_point,
+        kills=args.kills,
+    )
+    outcome = run_failover_drill(config, trace_out=args.trace_out)
+    report = outcome.report or {}
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote report to {args.report_out}", file=sys.stderr)
+    if args.trace_out:
+        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        latencies = outcome.takeover_latencies
+        worst = max(latencies) if latencies else 0.0
+        print(
+            f"[failover] kills={len(latencies)} "
+            f"takeover latency (steps): worst={worst:g} "
+            f"all={[f'{lat:g}' for lat in latencies]}"
+        )
+        print(
+            f"[failover] fenced writes={outcome.fenced_writes} "
+            f"final epoch={outcome.final_epoch}"
+        )
+        for kind, leaked in (
+            ("pods", outcome.leaked_pods),
+            ("leases", outcome.leaked_leases),
+            ("intents", outcome.leaked_intents),
+        ):
+            if leaked:
+                print(f"[failover] LEAKED {kind}: {leaked}")
+        violations = outcome.checker.violations if outcome.checker else []
+        for violation in violations:
+            print(f"[failover] VIOLATION {violation}")
+        print(f"failover: {'ok' if outcome.ok else 'FAILED'}")
+    return 0 if outcome.ok else 1
+
+
 def _cmd_soak(args: argparse.Namespace) -> int:
     """Long-horizon soak runs and trace-stream invariant checking.
 
@@ -454,6 +512,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             recovery_slack=args.recovery_slack,
             require_accounting=args.require_accounting,
             strict_end=args.strict_end,
+            failover_bound=args.failover_bound,
         )
         checker = check_trace_file(args.check, config)
         report = checker.report(extra={"trace": args.check})
@@ -878,6 +937,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="--check mode: treat unexplained unfinished jobs and overdue "
         "outages at end of stream as violations",
     )
+    soak.add_argument(
+        "--failover-bound",
+        type=float,
+        default=None,
+        help="--check mode: flag leadership vacancies lasting longer than "
+        "this many clock units (sensible value: 2x the election lease TTL)",
+    )
     soak.add_argument("--json", action="store_true")
     soak.set_defaults(func=_cmd_soak)
 
@@ -1036,6 +1102,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     drill.add_argument("--json", action="store_true")
     drill.set_defaults(func=_cmd_drill)
+
+    failover = sub.add_parser(
+        "failover",
+        help="controller-failover drill: kill the leader, audit the takeover",
+    )
+    failover.add_argument("--scheduler", default="optimus")
+    failover.add_argument("--jobs", type=int, default=3)
+    failover.add_argument("--servers", type=int, default=4)
+    failover.add_argument("--seed", type=int, default=0)
+    failover.add_argument(
+        "--kills", type=int, default=1, help="number of leader-kill waves"
+    )
+    failover.add_argument(
+        "--crash-point",
+        choices=(
+            "mid_step_deposed",
+            "before_campaign",
+            "after_elected",
+            "after_checkpoint",
+            "after_teardown",
+            "mid_launch",
+            "after_launch",
+        ),
+        default=None,
+        help="how the leader dies (default: silent death; the election "
+        "points script the successor instead)",
+    )
+    failover.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=2.0,
+        help="election lease TTL in steps (takeover bound is 2x this)",
+    )
+    failover.add_argument(
+        "--trace-out", metavar="FILE", help="stream the drill's JSONL trace"
+    )
+    failover.add_argument(
+        "--report-out", metavar="FILE", help="write the violation report"
+    )
+    failover.add_argument("--json", action="store_true")
+    failover.set_defaults(func=_cmd_failover)
 
     return parser
 

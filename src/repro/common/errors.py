@@ -71,5 +71,17 @@ class ControllerCrashed(ReproError):
     """
 
 
+class StaleLeaderError(ReproError):
+    """A deposed controller tried to write through its fenced store.
+
+    Raised by :class:`repro.k8s.election.FencedKVStore` when the holder's
+    fencing epoch no longer matches the reigning leader record (its lease
+    expired, or a successor was elected). Like :class:`ControllerCrashed`,
+    deliberately *not* a :class:`KVStoreError`: retry wrappers and the
+    reconcile degradation path must never absorb it -- a fenced leader
+    does not degrade gracefully, it stands down and (maybe) re-campaigns.
+    """
+
+
 class DataStoreError(ReproError):
     """An operation on the HDFS-like chunk store failed."""

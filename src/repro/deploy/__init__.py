@@ -1,5 +1,17 @@
 """Deployment-mode plumbing: the §5.5 poll/schedule/reconcile loop."""
 
+from repro.deploy.failover import (
+    FailoverConfig,
+    FailoverOutcome,
+    run_failover_drill,
+)
 from repro.deploy.loop import ControlLoop, StepReport, cluster_from_api
 
-__all__ = ["ControlLoop", "StepReport", "cluster_from_api"]
+__all__ = [
+    "ControlLoop",
+    "StepReport",
+    "cluster_from_api",
+    "FailoverConfig",
+    "FailoverOutcome",
+    "run_failover_drill",
+]

@@ -33,9 +33,19 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.server import Server
-from repro.common.errors import SchedulingError
-from repro.faults.crashpoints import CrashPointInjector
+from repro.common.errors import (
+    ConfigurationError,
+    SchedulingError,
+    StaleLeaderError,
+)
+from repro.faults.crashpoints import (
+    CRASH_AFTER_ELECTED,
+    CRASH_BEFORE_CAMPAIGN,
+    CRASH_MID_STEP_DEPOSED,
+    CrashPointInjector,
+)
 from repro.k8s.api import APIServer
+from repro.k8s.election import LeaderElection
 from repro.k8s.controller import JobController, JobTarget, ReconcileReport
 from repro.obs.estimators import (
     NULL_ESTIMATOR_TELEMETRY,
@@ -56,6 +66,7 @@ from repro.obs.tracer import (
     EVENT_INTERVAL_TICK,
     EVENT_JOB_RESCALED,
     EVENT_NODE_CORDONED,
+    EVENT_NODE_LEASE_REGRANT,
     EVENT_NODE_LEASE_RENEWED,
     EVENT_PLACEMENT_DECIDED,
     EVENT_RESCALE_ROLLED_BACK,
@@ -113,9 +124,17 @@ class ControlLoop:
         start_step: int = 0,
         estimator_drift_window: int = 6,
         estimator_drift_threshold: float = 0.5,
+        election: Optional[LeaderElection] = None,
     ):
         self.api = api
         self.scheduler = scheduler
+        # Hot/standby HA: with an election, every write this loop issues
+        # goes through a fenced store, and step() asserts leadership up
+        # front. A loop without one is the classic single-controller mode.
+        self.election = election
+        self.crash_points = crash_points
+        if election is not None:
+            self.api.fence_writes(election)
         self.controller = controller or JobController(
             api, crash_points=crash_points
         )
@@ -164,6 +183,13 @@ class ControlLoop:
         """The 0-based index of the next scheduling interval."""
         return self._step_index
 
+    @property
+    def role(self) -> str:
+        """``"leader"`` or ``"standby"``; election-free loops always lead."""
+        if self.election is None or self.election.leading:
+            return "leader"
+        return "standby"
+
     def step(
         self,
         views: Sequence[JobView],
@@ -180,6 +206,13 @@ class ControlLoop:
             jobs are rescaled or torn down.
         """
         now = float(self._step_index)
+        if self.election is not None and not self.election.renew(now):
+            # Not (or no longer) the leader: refuse before touching any
+            # state. Standbys drive standby_tick(), never step().
+            raise StaleLeaderError(
+                f"controller {self.election.candidate!r} is not the leader "
+                f"(epoch {self.election.epoch}); cannot run a step"
+            )
         tracer = self.tracer
         spans = self.spans
         spans.set_time(now)
@@ -250,6 +283,19 @@ class ControlLoop:
                         layout=dict(layout),
                     )
                 )
+            # Deposition chaos: sever the election lease *after* the
+            # decision but before its writes land -- the GC-pause story.
+            # The remaining reconcile mutations then bounce off the fence
+            # and StaleLeaderError propagates out of step() (nothing may
+            # absorb it, exactly like ControllerCrashed).
+            if (
+                self.election is not None
+                and self.crash_points
+                and self.crash_points.take(
+                    CRASH_MID_STEP_DEPOSED, self.election.candidate
+                )
+            ):
+                self.election.sever(now)
             with spans.span("reconcile"), self.profiler.phase("reconcile"):
                 # Graceful degradation: a rescale failing mid-flight rolls
                 # that job back to its previous pods and the loop carries on
@@ -338,7 +384,16 @@ class ControlLoop:
         contract.
         """
         now = float(self._step_index) if now is None else now
-        self.api.heartbeat_node(node_name, now)
+        before = self.api.node(node_name).lease_id
+        node = self.api.heartbeat_node(node_name, now)
+        if node.lease_id != before:
+            # The lease had lapsed unswept; the ping re-granted a fresh one.
+            if self.tracer:
+                self.tracer.emit(
+                    EVENT_NODE_LEASE_REGRANT, now, server=node_name
+                )
+            self.metrics.counter("lease.regrants").inc()
+            return
         if self.tracer:
             self.tracer.emit(EVENT_NODE_LEASE_RENEWED, now, server=node_name)
         self.metrics.counter("lease.renewals").inc()
@@ -362,6 +417,41 @@ class ControlLoop:
             self.metrics.counter("lease.expirations").inc()
             self.metrics.counter("loop.nodes_cordoned").inc()
         return cordoned
+
+    # -- hot/standby HA ------------------------------------------------------------
+    def standby_tick(self, now: Optional[float] = None) -> Optional[Dict[str, float]]:
+        """One standby heartbeat: campaign for a vacant leadership.
+
+        A standby calls this every tick (the store has no clock, so
+        vacancy is *polled*: a silently dead leader's lease only looks
+        lapsed when someone checks). While another leader reigns it
+        returns ``None``. On winning the election it fires the
+        ``before_campaign``/``after_elected`` crash points, syncs the
+        step clock to *now*, runs the full :meth:`recover` path -- intent
+        replay, managed-set re-adoption -- and returns the recovered
+        per-job checkpoint progress: the takeover is complete and the
+        caller should start driving :meth:`step`. An already-leading loop
+        just renews its lease.
+        """
+        if self.election is None:
+            raise ConfigurationError("standby_tick requires an election")
+        now = float(self._step_index) if now is None else now
+        # A successor resumes the shared step clock so trace times and
+        # lease expiries stay monotonic across reigns.
+        self._step_index = max(self._step_index, int(now))
+        if self.election.is_leader(now):
+            self.election.renew(now)
+            return None
+        if self.crash_points and not self.election.leader_alive(now):
+            # Only an actual vacancy is "before campaign"; a standby idling
+            # behind a healthy leader is not about to campaign for anything.
+            self.crash_points.fire(CRASH_BEFORE_CAMPAIGN, self.election.candidate)
+        if self.election.campaign(now) is None:
+            self.metrics.counter("election.standby_ticks").inc()
+            return None
+        if self.crash_points:
+            self.crash_points.fire(CRASH_AFTER_ELECTED, self.election.candidate)
+        return self.recover()
 
     # -- shutdown & crash recovery ------------------------------------------------
     def drain(self, progress: Optional[Mapping[str, float]] = None) -> ReconcileReport:

@@ -22,10 +22,14 @@ semantics.
 from repro.faults.config import FaultConfig
 from repro.faults.crashpoints import (
     CRASH_AFTER_CHECKPOINT,
+    CRASH_AFTER_ELECTED,
     CRASH_AFTER_LAUNCH,
     CRASH_AFTER_TEARDOWN,
+    CRASH_BEFORE_CAMPAIGN,
     CRASH_MID_LAUNCH,
+    CRASH_MID_STEP_DEPOSED,
     CRASH_POINTS,
+    RECONCILE_CRASH_POINTS,
     ControllerCrash,
     CrashPointInjector,
 )
@@ -42,10 +46,14 @@ __all__ = [
     "ControllerCrash",
     "CrashPointInjector",
     "CRASH_POINTS",
+    "RECONCILE_CRASH_POINTS",
     "CRASH_AFTER_CHECKPOINT",
     "CRASH_AFTER_TEARDOWN",
     "CRASH_MID_LAUNCH",
     "CRASH_AFTER_LAUNCH",
+    "CRASH_BEFORE_CAMPAIGN",
+    "CRASH_AFTER_ELECTED",
+    "CRASH_MID_STEP_DEPOSED",
     "FaultInjector",
     "IntervalFaults",
     "NodeOutage",

@@ -31,13 +31,29 @@ CRASH_AFTER_TEARDOWN = "after_teardown"
 CRASH_MID_LAUNCH = "mid_launch"
 #: After every new pod is bound, before the intent is marked done.
 CRASH_AFTER_LAUNCH = "after_launch"
+#: A standby dies just before it would campaign for a vacant leadership.
+CRASH_BEFORE_CAMPAIGN = "before_campaign"
+#: A candidate dies right after winning the election, before recovery --
+#: its claim (and lease) linger until the TTL lapses.
+CRASH_AFTER_ELECTED = "after_elected"
+#: The leader's lease is severed *mid-step* (after scheduling, before
+#: reconcile writes land): a deposition, not a death -- the process keeps
+#: running and its writes must be fenced. Consumed via :meth:`take`.
+CRASH_MID_STEP_DEPOSED = "mid_step_deposed"
 
-#: Every named crash point inside ``reconcile``, in cycle order.
-CRASH_POINTS = (
+#: The reconcile-cycle crash points, in cycle order.
+RECONCILE_CRASH_POINTS = (
     CRASH_AFTER_CHECKPOINT,
     CRASH_AFTER_TEARDOWN,
     CRASH_MID_LAUNCH,
     CRASH_AFTER_LAUNCH,
+)
+
+#: Every named crash point (reconcile cycle first, then election ones).
+CRASH_POINTS = RECONCILE_CRASH_POINTS + (
+    CRASH_BEFORE_CAMPAIGN,
+    CRASH_AFTER_ELECTED,
+    CRASH_MID_STEP_DEPOSED,
 )
 
 
@@ -93,3 +109,21 @@ class CrashPointInjector:
             raise ControllerCrashed(
                 f"injected controller crash at {point!r} (job {job_id!r})"
             )
+
+    def take(self, point: str, subject: str = "") -> bool:
+        """Consume a matching scripted crash *without* raising.
+
+        Deposition-style points (:data:`CRASH_MID_STEP_DEPOSED`) are not
+        deaths: the process survives but its reign ends, so there is no
+        :class:`ControllerCrashed` to raise -- the caller severs the
+        lease itself when this returns ``True``.
+        """
+        for index, crash in enumerate(self._pending):
+            if crash.point != point:
+                continue
+            if crash.job_id is not None and crash.job_id != subject:
+                continue
+            del self._pending[index]
+            self.fired.append((point, subject))
+            return True
+        return False

@@ -20,6 +20,14 @@ from repro.k8s.controller import (
     JobTarget,
     ReconcileReport,
 )
+from repro.k8s.election import (
+    ELECTION_PREFIX,
+    EPOCH_KEY,
+    LEADER_KEY,
+    FencedKVStore,
+    LeaderElection,
+    LeaderRecord,
+)
 from repro.k8s.kvstore import KVEvent, KVStore, Lease
 from repro.k8s.objects import (
     PHASE_FAILED,
@@ -43,9 +51,15 @@ __all__ = [
     "JobIntent",
     "JobTarget",
     "ReconcileReport",
+    "LeaderElection",
+    "LeaderRecord",
+    "FencedKVStore",
     "NODE_PREFIX",
     "POD_PREFIX",
     "HEARTBEAT_PREFIX",
+    "ELECTION_PREFIX",
+    "LEADER_KEY",
+    "EPOCH_KEY",
     "CHECKPOINT_PREFIX",
     "INTENT_PREFIX",
     "MANAGED_PREFIX",

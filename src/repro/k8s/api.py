@@ -39,6 +39,20 @@ class APIServer:
         # with an unwrapped one.
         self.store = store if store is not None else KVStore()
 
+    def fence_writes(self, election) -> None:
+        """Guard every write through this server with a leadership check.
+
+        Wraps the backing store in a
+        :class:`~repro.k8s.election.FencedKVStore` bound to *election*,
+        so a request carrying a stale fencing epoch -- any mutation
+        attempted after the holder's reign ended -- is rejected with
+        :class:`~repro.common.errors.StaleLeaderError`. Re-fencing
+        replaces the previous guard instead of stacking wrappers.
+        """
+        from repro.k8s.election import FencedKVStore
+
+        self.store = FencedKVStore(getattr(self.store, "raw", self.store), election)
+
     # -- nodes -------------------------------------------------------------------
     def register_node(
         self,
@@ -76,12 +90,14 @@ class APIServer:
             # A re-announce revives the node: fresh lease, cordon lifted.
             node.cordoned = False
             node.lease_id = self._grant_node_lease(name, lease_ttl, now)
+            node.lease_ttl = lease_ttl
             self._save_node(node)
             return node
         node = NodeInfo(
             name=name,
             capacity=capacity,
             lease_id=self._grant_node_lease(name, lease_ttl, now),
+            lease_ttl=lease_ttl,
         )
         self.store.put(key, node.to_json())
         return node
@@ -99,17 +115,42 @@ class APIServer:
         """Renew a node's health lease (the kubelet status ping).
 
         Raises when the node has no lease (registered without heartbeats)
-        or when the lease already lapsed -- a node that went silent past
-        its TTL must re-register, not sneak back in with a late ping.
+        or when it was already cordoned -- a node the sweep declared dead
+        must re-register, not sneak back in with a late ping.
+
+        A lease that lapsed but was *not yet swept* (no cordon happened)
+        is a flapping node, not a dead one: the heartbeat re-grants a
+        fresh lease with the original TTL instead of raising, and the
+        caller can tell by the changed ``lease_id``. Without the regrant
+        every late ping inside the sweep window forced a manual
+        re-register.
         """
         node = self.node(name)
         if node.lease_id is None:
             raise KVStoreError(f"node {name!r} has no health lease")
-        if node.cordoned or not self.store.has_lease(node.lease_id):
+        if node.cordoned:
             raise KVStoreError(
                 f"node {name!r} lease expired; it must re-register"
             )
-        self.store.renew_lease(node.lease_id, now)
+        if self.store.has_lease(node.lease_id):
+            try:
+                self.store.renew_lease(node.lease_id, now)
+                return node
+            except KVStoreError:
+                pass  # lapsed at/past ttl but unswept: fall through to regrant
+        ttl = node.lease_ttl
+        if ttl is None and self.store.has_lease(node.lease_id):
+            ttl = self.store.lease_ttl(node.lease_id)  # pre-regrant record
+        if ttl is None:
+            raise KVStoreError(
+                f"node {name!r} lease expired and its ttl is unknown; "
+                "it must re-register"
+            )
+        if self.store.has_lease(node.lease_id):
+            self.store.revoke_lease(node.lease_id)
+        node.lease_id = self._grant_node_lease(name, ttl, now)
+        node.lease_ttl = ttl
+        self._save_node(node)
         return node
 
     def sweep_expired(self, now: float) -> List[str]:

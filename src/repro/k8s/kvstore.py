@@ -106,16 +106,23 @@ class KVStore:
         return True
 
     def compare_and_swap(
-        self, key: str, expected: Optional[str], value: str
+        self,
+        key: str,
+        expected: Optional[str],
+        value: str,
+        lease: Optional[int] = None,
     ) -> bool:
         """Atomically set *key* to *value* iff its current value is *expected*.
 
-        ``expected=None`` means "key must not exist" (create-only).
+        ``expected=None`` means "key must not exist" (create-only). With
+        *lease*, a winning swap attaches the key to that lease in the same
+        atomic step (the etcd election idiom: claim the leader key under
+        your own TTL lease, so the claim dies with you).
         """
         current = self.get(key)
         if current != expected:
             return False
-        self.put(key, value)
+        self.put(key, value, lease=lease)
         return True
 
     # -- queries ------------------------------------------------------------------
@@ -179,19 +186,29 @@ class KVStore:
         Returns the expired lease ids, sorted. The store has no background
         clock, so callers (the control loop's sweep) drive this explicitly.
         """
+        # Snapshot the due ids up front: dropping a lease's keys fires
+        # watcher callbacks, and a callback may itself revoke or expire
+        # leases (an election noticing its record vanished). The pop must
+        # therefore tolerate ids a nested call already removed.
         due = sorted(
             lease_id
             for lease_id, lease in self._leases.items()
             if lease.expired(now)
         )
         for lease_id in due:
-            lease = self._leases.pop(lease_id)
+            lease = self._leases.pop(lease_id, None)
+            if lease is None:
+                continue  # a watcher callback beat us to it
             self._drop_lease_keys(lease)
         return due
 
     def lease_remaining(self, lease_id: int, now: float) -> float:
         """Seconds until the lease expires (negative when already lapsed)."""
         return self._lease(lease_id).expires_at - now
+
+    def lease_ttl(self, lease_id: int) -> float:
+        """The TTL the lease was granted with (not its remaining time)."""
+        return self._lease(lease_id).ttl
 
     def lease_keys(self, lease_id: int) -> List[str]:
         """The keys currently attached to a lease, sorted."""

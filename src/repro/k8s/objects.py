@@ -92,6 +92,9 @@ class NodeInfo:
     #: The KV-store lease backing this node's health; ``None`` when the
     #: node was registered without heartbeats (it then never expires).
     lease_id: Optional[int] = None
+    #: The TTL the health lease was granted with; recorded so a late
+    #: heartbeat can re-grant an equivalent lease (``None`` pre-lease).
+    lease_ttl: Optional[float] = None
 
     @property
     def allocatable(self) -> ResourceVector:
@@ -105,6 +108,7 @@ class NodeInfo:
                 "allocated": dict(self.allocated.items()),
                 "cordoned": self.cordoned,
                 "lease_id": self.lease_id,
+                "lease_ttl": self.lease_ttl,
             },
             sort_keys=True,
         )
@@ -118,6 +122,7 @@ class NodeInfo:
             allocated=ResourceVector(data.get("allocated", {})),
             cordoned=data.get("cordoned", False),
             lease_id=data.get("lease_id"),
+            lease_ttl=data.get("lease_ttl"),
         )
 
 

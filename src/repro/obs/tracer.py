@@ -72,6 +72,15 @@ EVENT_ESTIMATOR_DRIFT = "estimator_drift"
 #: and the cumulative ``steps`` saved -- the anchor for the soak checker's
 #: monotonic-checkpoint invariant.
 EVENT_CHECKPOINT_RECORDED = "checkpoint_recorded"
+#: A candidate won the leader election and minted a new fencing epoch.
+EVENT_LEADER_ELECTED = "leader_elected"
+#: A leader's reign ended (lease lapsed, resignation, or a successor
+#: cleaned up its stale record); carries the deposed ``epoch``.
+EVENT_LEADER_DEPOSED = "leader_deposed"
+#: A deposed leader's write was rejected by its fenced store.
+EVENT_WRITE_FENCED = "write_fenced"
+#: A late node heartbeat re-granted a lapsed (but unswept) health lease.
+EVENT_NODE_LEASE_REGRANT = "node_lease_regrant"
 #: Terminal accounting record emitted once by a soak/simulation runner:
 #: which jobs finished, which are legitimately unfinished, and any state
 #: (pods, leases, intents) still held after teardown. The soak invariant
@@ -99,6 +108,10 @@ EVENT_TYPES = frozenset(
         EVENT_NODE_CORDONED,
         EVENT_NODE_LEASE_RENEWED,
         EVENT_INTENT_REPLAYED,
+        EVENT_LEADER_ELECTED,
+        EVENT_LEADER_DEPOSED,
+        EVENT_WRITE_FENCED,
+        EVENT_NODE_LEASE_REGRANT,
         EVENT_SPAN,
         EVENT_ESTIMATOR_SAMPLE,
         EVENT_ESTIMATOR_DRIFT,

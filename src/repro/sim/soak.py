@@ -419,6 +419,7 @@ def checker_config_from_spec(
         stall_bound=spec.get("stall_bound"),
         require_accounting=spec.get("require_accounting", True),
         strict_end=spec.get("strict_end", True),
+        failover_bound=spec.get("failover_bound"),
     )
 
 
@@ -606,6 +607,43 @@ def _run_drill_phase(
     }
 
 
+def _run_failover_phase(
+    scenario: ScenarioSpec, tracer: RecordingTracer
+) -> Dict[str, List[str]]:
+    """Run a leader-kill failover drill on the shared trace stream.
+
+    Selected with ``"drill": {"kind": "failover", ...}``; the remaining
+    keys map onto :class:`repro.deploy.failover.FailoverConfig` (``kills``
+    for the number of leader-kill waves, ``crash_point`` for the kill
+    mode, ``lease_ttl`` for the election TTL). Runs on the *same* tracer
+    as the simulation, so the checker audits the election events --
+    dual-leader, epoch-regression, failover-overdue -- in one stream;
+    accounting is merged into the run's terminal event by the caller.
+    """
+    from repro.deploy.failover import FailoverConfig, run_failover_drill
+
+    drill = scenario.drill or {}
+    config = FailoverConfig(
+        seed=int(drill.get("seed", scenario.seed)),
+        jobs=int(drill.get("jobs", 3)),
+        servers=int(drill.get("servers", 4)),
+        steps_before=int(drill.get("steps_before", 3)),
+        steps_after=int(drill.get("steps_after", 4)),
+        lease_ttl=float(drill.get("lease_ttl", 2.0)),
+        node_lease_ttl=float(drill.get("node_lease_ttl", 6.0)),
+        policy=str(drill.get("policy", scenario.policy)),
+        crash_point=drill.get("crash_point"),
+        kills=int(drill.get("kills", 1)),
+    )
+    outcome = run_failover_drill(config, tracer=tracer, emit_accounting=False)
+    return {
+        "jobs": list(outcome.jobs),
+        "leaked_pods": list(outcome.leaked_pods),
+        "leaked_leases": list(outcome.leaked_leases),
+        "leaked_intents": list(outcome.leaked_intents),
+    }
+
+
 def run_soak(
     scenario: ScenarioSpec,
     trace_out: Optional[str] = None,
@@ -656,7 +694,10 @@ def run_soak(
             "leaked_intents": [],
         }
         if scenario.drill is not None:
-            drill_outcome = _run_drill_phase(scenario, tracer)
+            if scenario.drill.get("kind") == "failover":
+                drill_outcome = _run_failover_phase(scenario, tracer)
+            else:
+                drill_outcome = _run_drill_phase(scenario, tracer)
 
         finished = sorted(
             job_id for job_id, rec in result.jobs.items() if rec.finished

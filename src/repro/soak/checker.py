@@ -34,6 +34,13 @@ asserts structural invariants over the whole stream:
 ``span-parent-missing``
     Every span's parent eventually closes: the causal tree has no
     dangling edges.
+``dual-leader`` / ``epoch-regression`` / ``failover-overdue``
+    Leader-election sanity over ``leader_elected``/``leader_deposed``
+    events: no election lands while a prior reign was never deposed, the
+    fencing epoch strictly increases, and (with ``failover_bound`` set) a
+    deposed leadership is re-filled within the bound. ``write_fenced``
+    events are counted in stats -- a fenced write is the mechanism
+    *working*, not a violation.
 ``leaked-pod`` / ``leaked-lease`` / ``leaked-intent``
     The terminal accounting reports no pods, leases or write-ahead
     intents still held after teardown.
@@ -58,11 +65,14 @@ from repro.obs.tracer import (
     EVENT_JOB_ARRIVED,
     EVENT_JOB_COMPLETED,
     EVENT_JOB_RESTARTED,
+    EVENT_LEADER_DEPOSED,
+    EVENT_LEADER_ELECTED,
     EVENT_NODE_FAILED,
     EVENT_NODE_RECOVERED,
     EVENT_RUN_COMPLETED,
     EVENT_SPAN,
     EVENT_TASK_CRASHED,
+    EVENT_WRITE_FENCED,
 )
 
 REPORT_VERSION = 1
@@ -100,8 +110,12 @@ class CheckerConfig:
     restarted job may go without a fresh allocation. ``require_accounting``
     demands a terminal ``run_completed`` event -- soak runs always emit
     one; standalone ``simulate`` traces do not. ``strict_end`` treats
-    admitted-but-unaccounted jobs and still-open outages at end-of-stream
-    as violations even without accounting.
+    admitted-but-unaccounted jobs, still-open outages, and (with
+    ``failover_bound``) a still-vacant leadership at end-of-stream as
+    violations even without accounting. ``failover_bound`` bounds how
+    long a deposed leadership may stay vacant before a successor's
+    ``leader_elected`` must appear (``None`` disables; a sensible value
+    is 2x the election lease TTL).
     """
 
     recovery_slack: float = 1800.0
@@ -109,6 +123,7 @@ class CheckerConfig:
     stall_bound: Optional[float] = None
     require_accounting: bool = False
     strict_end: bool = False
+    failover_bound: Optional[float] = None
 
 
 class InvariantChecker:
@@ -134,6 +149,15 @@ class InvariantChecker:
         self._span_parents: Dict[int, tuple] = {}  # parent_id -> (seq, time)
         self._accounting: Optional[Dict] = None
         self._finished = False
+        # Leader-election state: the open reign, every epoch ever deposed
+        # (duplicate depositions are tolerated -- an ex-leader and the
+        # successor may both trace the same reign's end), the max epoch
+        # seen, and when the leadership fell vacant (high-water clock, so
+        # multi-phase streams with restarting clocks don't false-flag).
+        self._reigning: Optional[tuple] = None  # (leader, epoch)
+        self._deposed_epochs: Set[int] = set()
+        self._max_epoch: Optional[int] = None
+        self._vacant_since: Optional[float] = None
 
     # -- helpers -----------------------------------------------------------------
     def _flag(
@@ -184,6 +208,19 @@ class InvariantChecker:
                     event=event,
                 )
                 del self._outages[server]  # flag once, not per event
+
+    def _check_overdue_failover(self, event: Dict) -> None:
+        bound = self.config.failover_bound
+        if bound is None or self._vacant_since is None:
+            return
+        if self._now > self._vacant_since + bound:
+            self._flag(
+                "failover-overdue",
+                f"the leadership fell vacant at t={self._vacant_since:.0f} "
+                f"and no successor was elected within {bound:.0f}",
+                event=event,
+            )
+            self._vacant_since = None  # flag once, not per event
 
     def _check_stalled_restarts(self, event: Dict) -> None:
         bound = self.config.stall_bound
@@ -349,6 +386,47 @@ class InvariantChecker:
                 # Parents close after their children; remember the edge and
                 # resolve it when (if) the parent's span event arrives.
                 self._span_parents.setdefault(parent_id, (seq, time))
+        elif kind == EVENT_LEADER_ELECTED:
+            leader = event.get("leader")
+            epoch = event.get("epoch")
+            if (
+                self._reigning is not None
+                and self._reigning[1] not in self._deposed_epochs
+            ):
+                self._flag(
+                    "dual-leader",
+                    f"{leader!r} elected (epoch {epoch}) while "
+                    f"{self._reigning[0]!r} (epoch {self._reigning[1]}) was "
+                    "never deposed -- a split brain",
+                    subject=leader,
+                    event=event,
+                )
+            if isinstance(epoch, int):
+                if self._max_epoch is not None and epoch <= self._max_epoch:
+                    self._flag(
+                        "epoch-regression",
+                        f"epoch {epoch} elected after epoch {self._max_epoch} "
+                        "already existed; fencing tokens must strictly "
+                        "increase",
+                        subject=leader,
+                        event=event,
+                    )
+                self._max_epoch = max(self._max_epoch or 0, epoch)
+            self._reigning = (leader, epoch)
+            self._vacant_since = None
+        elif kind == EVENT_LEADER_DEPOSED:
+            epoch = event.get("epoch")
+            if isinstance(epoch, int):
+                self._deposed_epochs.add(epoch)
+            if self._reigning is not None and self._reigning[1] == epoch:
+                self._reigning = None
+                # A voluntary resign (clean shutdown) leaves the seat
+                # vacant on purpose; only an involuntary reign-end starts
+                # the failover clock demanding a successor.
+                if event.get("reason") != "resign":
+                    self._vacant_since = self._now
+        elif kind == EVENT_WRITE_FENCED:
+            pass  # the fence working as designed; counted in stats
         elif kind == EVENT_RUN_COMPLETED:
             if self._accounting is not None:
                 self._flag(
@@ -359,6 +437,7 @@ class InvariantChecker:
             self._accounting = event
 
         self._check_overdue_outages(event)
+        self._check_overdue_failover(event)
         self._check_stalled_restarts(event)
         return self.violations[before:]
 
@@ -447,6 +526,20 @@ class InvariantChecker:
                     subject=server,
                     event={"seq": seq, "time": fail_time},
                 )
+            # A leadership still vacant past its bound at end of stream
+            # (a clean resign never starts the clock: reason="resign").
+            bound = cfg.failover_bound
+            if (
+                bound is not None
+                and self._vacant_since is not None
+                and self._now > self._vacant_since + bound
+            ):
+                self._flag(
+                    "failover-overdue",
+                    "the leadership was still vacant at end of stream "
+                    f"(vacant since t={self._vacant_since:.0f}, bound "
+                    f"{bound:.0f})",
+                )
         return self.violations
 
     # -- reporting ---------------------------------------------------------------
@@ -464,6 +557,9 @@ class InvariantChecker:
             "node_failures": int(self.counts.get(EVENT_NODE_FAILED, 0)),
             "open_outages": sorted(self._outages),
             "has_accounting": self._accounting is not None,
+            "leader_terms": int(self.counts.get(EVENT_LEADER_ELECTED, 0)),
+            "fenced_writes": int(self.counts.get(EVENT_WRITE_FENCED, 0)),
+            "max_epoch": self._max_epoch,
         }
 
     def report(self, extra: Optional[Dict] = None) -> Dict:

@@ -18,7 +18,11 @@ import pytest
 from repro.cluster import cpu_mem
 from repro.common.errors import ControllerCrashed
 from repro.deploy import ControlLoop
-from repro.faults import CRASH_POINTS, ControllerCrash, CrashPointInjector
+from repro.faults import (
+    RECONCILE_CRASH_POINTS,
+    ControllerCrash,
+    CrashPointInjector,
+)
 from repro.k8s import (
     INTENT_DONE,
     APIServer,
@@ -32,9 +36,9 @@ from repro.workloads import StepTimeModel, make_job
 CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
 _POINT_FILTER = os.environ.get("CHAOS_CRASH_POINT")
 ACTIVE_POINTS = (
-    [p for p in CRASH_POINTS if p == _POINT_FILTER]
+    [p for p in RECONCILE_CRASH_POINTS if p == _POINT_FILTER]
     if _POINT_FILTER
-    else list(CRASH_POINTS)
+    else list(RECONCILE_CRASH_POINTS)
 )
 
 DEMAND = cpu_mem(2, 4)
@@ -122,7 +126,7 @@ class TestRescaleCrashRecovery:
 
 
 @pytest.mark.parametrize(
-    "point", [p for p in ACTIVE_POINTS if p in CRASH_POINTS[:2]]
+    "point", [p for p in ACTIVE_POINTS if p in RECONCILE_CRASH_POINTS[:2]]
 )
 class TestTeardownCrashRecovery:
     """Crash while tearing a departing job down to zero pods."""

@@ -1,0 +1,296 @@
+"""Hot/standby failover drills and the election trace invariants."""
+
+import json
+
+import pytest
+
+from repro.deploy import ControlLoop, FailoverConfig, run_failover_drill
+from repro.faults import (
+    CRASH_AFTER_ELECTED,
+    CRASH_BEFORE_CAMPAIGN,
+    CRASH_MID_STEP_DEPOSED,
+)
+from repro.k8s import APIServer, KVStore, LeaderElection
+from repro.obs.tracer import (
+    EVENT_LEADER_DEPOSED,
+    EVENT_LEADER_ELECTED,
+    EVENT_WRITE_FENCED,
+)
+from repro.schedulers import make_scheduler
+from repro.soak import CheckerConfig, InvariantChecker
+
+SEEDS = (0, 1, 2)
+
+KILL_MODES = (
+    None,  # silent death
+    CRASH_MID_STEP_DEPOSED,
+    CRASH_BEFORE_CAMPAIGN,
+    CRASH_AFTER_ELECTED,
+    "after_checkpoint",  # torn-intent reconcile crash
+)
+
+
+class TestFailoverDrill:
+    @pytest.mark.parametrize("crash_point", KILL_MODES)
+    def test_every_kill_mode_takes_over_cleanly(self, crash_point):
+        outcome = run_failover_drill(
+            FailoverConfig(seed=0, crash_point=crash_point, kills=1)
+        )
+        assert outcome.ok, outcome.checker.violations
+        assert outcome.leaked_pods == []
+        assert outcome.leaked_leases == []
+        assert outcome.leaked_intents == []
+        bound = 2.0 * outcome.config.lease_ttl
+        assert outcome.takeover_latencies
+        assert all(lat <= bound for lat in outcome.takeover_latencies)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_three_seed_acceptance_drill(self, seed):
+        """The PR's acceptance gate: zero violations across three seeds."""
+        outcome = run_failover_drill(
+            FailoverConfig(
+                seed=seed, crash_point=CRASH_MID_STEP_DEPOSED, kills=2
+            )
+        )
+        assert outcome.ok, outcome.checker.violations
+        assert not (
+            outcome.leaked_pods or outcome.leaked_leases or outcome.leaked_intents
+        )
+        # Every deposed-mid-step leader must hit the fence at least once.
+        assert outcome.fenced_writes > 0
+        assert all(
+            lat <= 2.0 * outcome.config.lease_ttl
+            for lat in outcome.takeover_latencies
+        )
+
+    def test_trace_carries_the_election_story(self):
+        outcome = run_failover_drill(
+            FailoverConfig(seed=0, crash_point=CRASH_MID_STEP_DEPOSED, kills=1)
+        )
+        elected = [e for e in outcome.events if e["event"] == EVENT_LEADER_ELECTED]
+        deposed = [e for e in outcome.events if e["event"] == EVENT_LEADER_DEPOSED]
+        fenced = [e for e in outcome.events if e["event"] == EVENT_WRITE_FENCED]
+        # One elected event per minted epoch, strictly increasing.
+        assert [e["epoch"] for e in elected] == list(
+            range(1, outcome.final_epoch + 1)
+        )
+        assert {e["epoch"] for e in deposed} == set(
+            range(1, outcome.final_epoch + 1)
+        )
+        assert fenced and all(e["leader"] == "ctrl-0" for e in fenced)
+        assert len(fenced) == outcome.fenced_writes
+
+    def test_trace_out_writes_jsonl(self, tmp_path):
+        path = tmp_path / "failover.jsonl"
+        outcome = run_failover_drill(
+            FailoverConfig(seed=0, kills=1), trace_out=str(path)
+        )
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(outcome.events)
+        assert json.loads(lines[-1])["event"] == "run_completed"
+
+    def test_report_carries_the_gate_metrics(self):
+        outcome = run_failover_drill(FailoverConfig(seed=0, kills=1))
+        extra = outcome.report
+        assert extra["drill"] == "failover"
+        assert extra["takeover_latencies"] == outcome.takeover_latencies
+        assert extra["stats"]["leader_terms"] == outcome.final_epoch
+
+
+class TestStandbyTick:
+    def test_standby_idles_behind_a_live_leader(self):
+        store = KVStore()
+        leader = ControlLoop(
+            APIServer(store),
+            make_scheduler("optimus"),
+            election=LeaderElection(store, "a", ttl=2.0),
+        )
+        standby = ControlLoop(
+            APIServer(store),
+            make_scheduler("optimus"),
+            election=LeaderElection(store, "b", ttl=2.0),
+        )
+        assert leader.standby_tick(0.0) is not None  # bootstrap win
+        assert leader.role == "leader"
+        for tick in (0.0, 1.0):
+            assert standby.standby_tick(tick) is None
+            assert leader.standby_tick(tick) is None  # already leading: renews
+        assert standby.role == "standby"
+
+    def test_standby_takes_over_after_lease_lapse(self):
+        store = KVStore()
+        leader = ControlLoop(
+            APIServer(store),
+            make_scheduler("optimus"),
+            election=LeaderElection(store, "a", ttl=2.0),
+        )
+        standby = ControlLoop(
+            APIServer(store),
+            make_scheduler("optimus"),
+            election=LeaderElection(store, "b", ttl=2.0),
+        )
+        assert leader.standby_tick(0.0) is not None
+        # The leader goes silent; at ttl the standby's poll wins.
+        assert standby.standby_tick(1.0) is None
+        recovered = standby.standby_tick(2.0)
+        assert recovered is not None  # empty dict == nothing to re-adopt
+        assert standby.role == "leader"
+        assert standby.election.epoch == 2
+
+
+class TestElectionInvariants:
+    """Unit streams for the checker's three new invariants."""
+
+    def _check(self, events, failover_bound=None, strict_end=False):
+        checker = InvariantChecker(
+            CheckerConfig(failover_bound=failover_bound, strict_end=strict_end)
+        )
+        seq = 0
+        for time, event, fields in events:
+            checker.observe({"seq": seq, "time": time, "event": event, **fields})
+            seq += 1
+        checker.finish()
+        return checker
+
+    def test_clean_succession_is_ok(self):
+        checker = self._check(
+            [
+                (0.0, "leader_elected", {"leader": "a", "epoch": 1}),
+                (5.0, "leader_deposed", {"leader": "a", "epoch": 1}),
+                (6.0, "leader_elected", {"leader": "b", "epoch": 2}),
+            ],
+            failover_bound=4.0,
+        )
+        assert checker.ok
+        assert checker.stats()["leader_terms"] == 2
+        assert checker.stats()["max_epoch"] == 2
+
+    def test_dual_leader_is_flagged(self):
+        checker = self._check(
+            [
+                (0.0, "leader_elected", {"leader": "a", "epoch": 1}),
+                (1.0, "leader_elected", {"leader": "b", "epoch": 2}),
+            ]
+        )
+        assert [v.invariant for v in checker.violations] == ["dual-leader"]
+
+    def test_epoch_regression_is_flagged(self):
+        checker = self._check(
+            [
+                (0.0, "leader_elected", {"leader": "a", "epoch": 2}),
+                (1.0, "leader_deposed", {"leader": "a", "epoch": 2}),
+                (2.0, "leader_elected", {"leader": "b", "epoch": 1}),
+            ]
+        )
+        assert [v.invariant for v in checker.violations] == ["epoch-regression"]
+
+    def test_duplicate_deposition_is_tolerated(self):
+        # Both the successor and the old leader trace the dead reign.
+        checker = self._check(
+            [
+                (0.0, "leader_elected", {"leader": "a", "epoch": 1}),
+                (5.0, "leader_deposed", {"leader": "a", "epoch": 1}),
+                (5.0, "leader_deposed", {"leader": "a", "epoch": 1}),
+                (5.0, "leader_elected", {"leader": "b", "epoch": 2}),
+            ]
+        )
+        assert checker.ok
+
+    def test_overdue_failover_is_flagged_mid_stream(self):
+        checker = self._check(
+            [
+                (0.0, "leader_elected", {"leader": "a", "epoch": 1}),
+                (2.0, "leader_deposed", {"leader": "a", "epoch": 1}),
+                (10.0, "interval_tick", {}),  # vacancy dragging on...
+                (11.0, "leader_elected", {"leader": "b", "epoch": 2}),
+            ],
+            failover_bound=4.0,
+        )
+        assert [v.invariant for v in checker.violations] == ["failover-overdue"]
+
+    def test_vacancy_past_bound_at_end_of_stream(self):
+        checker = self._check(
+            [
+                (0.0, "leader_elected", {"leader": "a", "epoch": 1}),
+                (2.0, "leader_deposed", {"leader": "a", "epoch": 1}),
+                (20.0, "interval_tick", {}),
+            ],
+            failover_bound=4.0,
+            strict_end=True,
+        )
+        assert "failover-overdue" in [v.invariant for v in checker.violations]
+
+    def test_final_resign_within_bound_is_ok(self):
+        checker = self._check(
+            [
+                (0.0, "leader_elected", {"leader": "a", "epoch": 1}),
+                (9.0, "leader_deposed", {"leader": "a", "epoch": 1}),
+            ],
+            failover_bound=4.0,
+            strict_end=True,
+        )
+        assert checker.ok
+
+    def test_voluntary_resign_never_starts_the_failover_clock(self):
+        # A clean shutdown leaves the seat vacant on purpose; the clock
+        # jumping far past the resign (e.g. the scenario's terminal
+        # accounting event at the horizon) must not flag it.
+        checker = self._check(
+            [
+                (0.0, "leader_elected", {"leader": "a", "epoch": 1}),
+                (
+                    5.0,
+                    "leader_deposed",
+                    {"leader": "a", "epoch": 1, "reason": "resign"},
+                ),
+                (5000.0, "interval_tick", {}),
+            ],
+            failover_bound=4.0,
+            strict_end=True,
+        )
+        assert checker.ok
+
+    def test_fenced_writes_are_stats_not_violations(self):
+        checker = self._check(
+            [
+                (0.0, "leader_elected", {"leader": "a", "epoch": 1}),
+                (2.0, "leader_deposed", {"leader": "a", "epoch": 1}),
+                (
+                    2.0,
+                    "write_fenced",
+                    {"leader": "a", "epoch": 1, "op": "put", "key": "/x"},
+                ),
+                (2.0, "leader_elected", {"leader": "b", "epoch": 2}),
+            ],
+            failover_bound=4.0,
+        )
+        assert checker.ok
+        assert checker.stats()["fenced_writes"] == 1
+
+
+class TestScenarioIntegration:
+    def test_soak_scenario_with_failover_drill(self, tmp_path):
+        from repro.sim.soak import load_scenario, run_soak
+
+        spec = {
+            "name": "failover-mini",
+            "seed": 0,
+            "servers": 4,
+            "horizon": 4000,
+            "interval": 200,
+            "workload": [{"arrivals": "uniform", "jobs": 2, "window": 400}],
+            "drill": {
+                "kind": "failover",
+                "kills": 2,
+                "crash_point": "mid_step_deposed",
+                "lease_ttl": 2.0,
+            },
+            "checker": {"failover_bound": 4.0},
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec))
+        outcome = run_soak(load_scenario(str(path)))
+        assert outcome.ok, outcome.violations
+        stats = outcome.checker.stats()
+        assert stats["leader_terms"] >= 3  # bootstrap + one per kill
+        assert stats["fenced_writes"] > 0

@@ -109,3 +109,59 @@ class TestRevokeAndExpire:
     def test_lease_remaining_unknown_raises(self, store):
         with pytest.raises(KVStoreError):
             store.lease_remaining(7, now=0.0)
+
+
+class TestExpiryReentrancy:
+    """Watcher callbacks may mutate the lease table mid-expiry.
+
+    Dropping an expired lease's keys fires watch events, and a callback
+    can itself revoke or expire leases (an election noticing the leader
+    record vanished). The sweep must snapshot the due ids and tolerate
+    ids a nested call already removed -- the regression here used to
+    mutate ``_leases`` during iteration.
+    """
+
+    def test_callback_revoking_a_due_lease_mid_sweep(self, store):
+        a = store.grant_lease(1.0, now=0.0)
+        b = store.grant_lease(1.0, now=0.0)
+        store.put("/a", "1", lease=a)
+        store.put("/b", "1", lease=b)
+
+        def revoke_the_other(event):
+            # Fires for both deletions; revoking twice must be a no-op.
+            store.revoke_lease(b)
+
+        store.watch("/", revoke_the_other)
+        assert store.expire_leases(now=2.0) == sorted([a, b])
+        assert not store.has_lease(a) and not store.has_lease(b)
+        assert store.get("/a") is None and store.get("/b") is None
+
+    def test_callback_expiring_nested_mid_sweep(self, store):
+        leases = [store.grant_lease(1.0, now=0.0) for _ in range(3)]
+        for i, lease in enumerate(leases):
+            store.put(f"/k{i}", "1", lease=lease)
+        nested = []
+
+        def expire_again(event):
+            if not nested:
+                nested.append(store.expire_leases(now=2.0))
+
+        store.watch("/", expire_again)
+        outer = store.expire_leases(now=2.0)
+        # Between the outer sweep and the nested one, every due lease
+        # went exactly once; nothing raised, nothing survived.
+        assert outer == sorted(leases)
+        assert all(not store.has_lease(lease) for lease in leases)
+        assert store.list_prefix("/") == {}
+
+    def test_callback_granting_a_new_lease_mid_sweep(self, store):
+        doomed = store.grant_lease(1.0, now=0.0)
+        store.put("/doomed", "1", lease=doomed)
+        granted = []
+
+        def grant_replacement(event):
+            granted.append(store.grant_lease(5.0, now=2.0))
+
+        store.watch("/doomed", grant_replacement)
+        assert store.expire_leases(now=2.0) == [doomed]
+        assert len(granted) == 1 and store.has_lease(granted[0])

@@ -58,6 +58,37 @@ class TestNodeHeartbeats:
         with pytest.raises(KVStoreError):
             api.heartbeat_node("n0", now=5.0)
 
+    def test_lapsed_unswept_heartbeat_regrants_a_fresh_lease(self):
+        # The lease expired on the wall clock but no sweep has run yet:
+        # the node is NOT cordoned, so the late ping re-grants instead of
+        # punishing the node for the control plane's lazy clock.
+        api = leased_api(1)
+        old_lease = api.node("n0").lease_id
+        node = api.heartbeat_node("n0", now=5.0)
+        assert node.lease_id != old_lease
+        assert not node.cordoned
+        # The regrant keeps the original TTL: alive at 5+ttl/2, lapsed after.
+        assert api.sweep_expired(now=5.0 + TTL / 2) == []
+        assert api.sweep_expired(now=5.0 + TTL) == ["n0"]
+
+    def test_regrant_does_not_leak_the_old_lease(self):
+        api = leased_api(1)
+        old_lease = api.node("n0").lease_id
+        api.heartbeat_node("n0", now=5.0)
+        assert not api.store.has_lease(old_lease)
+
+    def test_loop_heartbeat_traces_the_regrant(self):
+        tracer = RecordingTracer()
+        api = leased_api(1)
+        metrics = MetricsRegistry()
+        loop = ControlLoop(api, OptimusScheduler(), tracer=tracer, metrics=metrics)
+        loop.heartbeat("n0", now=1.0)  # plain renewal
+        loop.heartbeat("n0", now=9.0)  # lapsed-unswept: regrant
+        renewed = [e["event"] for e in tracer.events]
+        assert renewed == ["node_lease_renewed", "node_lease_regrant"]
+        assert metrics.counter("lease.renewals").value == 1
+        assert metrics.counter("lease.regrants").value == 1
+
     def test_reregister_revives_cordoned_node(self):
         api = leased_api(1)
         api.sweep_expired(now=5.0)

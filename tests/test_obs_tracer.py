@@ -49,6 +49,11 @@ class TestEventSchema:
             # soak harness: checkpoint audit + terminal run accounting
             "checkpoint_recorded",
             "run_completed",
+            # hot/standby HA: leader election + write fencing
+            "leader_elected",
+            "leader_deposed",
+            "write_fenced",
+            "node_lease_regrant",
         }
 
     def test_emit_builds_typed_payload(self):
