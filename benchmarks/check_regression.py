@@ -20,6 +20,12 @@ silently dropping a metric from the report would otherwise remove it
 from the gate forever. Keys only present in the current report are
 listed as informational (they join the gate once the baseline is
 regenerated).
+
+``*_ratio`` keys are already relative measurements (e.g. BENCH_smoke's
+``ledger_overhead_ratio``, full-ledger wall time over ledger-off wall
+time) and gate like any other lower-is-better metric: the check compares
+the fresh ratio against the baseline ratio, so a ledger change that
+makes instrumented runs relatively slower trips the same 30% band.
 """
 
 from __future__ import annotations

@@ -119,23 +119,37 @@ def write_smoke_report(path: str = REPORT_PATH) -> dict:
     The workload matches the repo's standard 9-job / 13-server scenario,
     run with a live metrics registry so the per-phase histograms exist;
     allocate/place p95s come straight from them.
+
+    The same scenario is then re-run twice with a tracer attached --
+    once with the decision ledger off, once in ``full`` mode;
+    ``ledger_overhead_ratio`` (full / off wall time, both traced)
+    isolates the cost of the PR-10 decision ledger from tracing itself
+    and gates it against the committed baseline.
     """
     from repro.cluster import Cluster, cpu_mem
-    from repro.obs import MetricsRegistry
+    from repro.obs import MetricsRegistry, RecordingTracer
     from repro.schedulers import make_scheduler
     from repro.sim import SimConfig, simulate
     from repro.workloads import uniform_arrivals
 
-    registry = MetricsRegistry()
-    start = time.perf_counter()
-    result = simulate(
-        Cluster.homogeneous(13, cpu_mem(16, 80)),
-        make_scheduler("optimus"),
-        uniform_arrivals(num_jobs=9, window=12_000, seed=0),
-        SimConfig(seed=0),
-        metrics=registry,
+    def run_once(tracer=None, **cfg):
+        registry = MetricsRegistry()
+        start = time.perf_counter()
+        result = simulate(
+            Cluster.homogeneous(13, cpu_mem(16, 80)),
+            make_scheduler("optimus"),
+            uniform_arrivals(num_jobs=9, window=12_000, seed=0),
+            SimConfig(seed=0, **cfg),
+            tracer=tracer,
+            metrics=registry,
+        )
+        return result, registry, time.perf_counter() - start
+
+    result, registry, elapsed = run_once()
+    _, _, elapsed_off = run_once(tracer=RecordingTracer(), ledger_mode="off")
+    _, _, elapsed_full = run_once(
+        tracer=RecordingTracer(), ledger_mode="full"
     )
-    elapsed = time.perf_counter() - start
     snapshot = registry.snapshot()
     intervals = int(snapshot["counters"].get("engine.intervals", 0))
     report = {
@@ -148,6 +162,7 @@ def write_smoke_report(path: str = REPORT_PATH) -> dict:
             1000.0 * registry.histogram("phase.place").quantile(0.95), 4
         ),
         "average_jct_seconds": round(result.summary()["average_jct"], 2),
+        "ledger_overhead_ratio": round(elapsed_full / elapsed_off, 4),
     }
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

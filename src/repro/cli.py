@@ -156,6 +156,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval
         if args.checkpoint_interval > 0
         else None,
+        ledger_mode=args.ledger,
+        ledger_top_k=args.ledger_top_k,
     )
     cluster = Cluster.homogeneous(args.servers, cpu_mem(16, 80))
 
@@ -443,6 +445,28 @@ def _cmd_failover(args: argparse.Namespace) -> int:
         print(f"wrote report to {args.report_out}", file=sys.stderr)
     if args.trace_out:
         print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+        # Reproducibility manifest, same contract as simulate/soak: the
+        # drill has no SimConfig, so the seed is pinned directly.
+        from repro.sim import manifest_path_for, run_manifest, write_manifest
+
+        manifest = run_manifest(
+            engine="controlloop",
+            policy=config.policy,
+            seed=config.seed,
+            extra={
+                "drill": {
+                    "jobs": config.jobs,
+                    "servers": config.servers,
+                    "lease_ttl": config.lease_ttl,
+                    "crash_point": config.crash_point,
+                    "kills": config.kills,
+                }
+            },
+        )
+        manifest_path = write_manifest(
+            manifest_path_for(args.trace_out), manifest
+        )
+        print(f"wrote manifest to {manifest_path}", file=sys.stderr)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
@@ -587,10 +611,57 @@ def _cmd_soak(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    files = args.files
+    if files and files[0] == "diff":
+        # ``repro trace diff A B``: align two manifested runs of the same
+        # workload and report the first divergent decision per job.
+        if len(files) != 3:
+            print("trace diff: expected exactly two trace files", file=sys.stderr)
+            return 2
+        return _trace_diff_files(files[1], files[2], max_jobs=args.diff_jobs)
+    if len(files) != 1:
+        print(
+            "trace: expected one trace file (or: trace diff A B)",
+            file=sys.stderr,
+        )
+        return 2
     from repro.obs import summarize_file
 
     limit = args.max_events_per_job if args.max_events_per_job > 0 else None
-    print(summarize_file(args.file, max_events_per_job=limit))
+    print(summarize_file(files[0], max_events_per_job=limit))
+    return 0
+
+
+def _trace_diff_files(path_a: str, path_b: str, max_jobs: int = 0) -> int:
+    import os
+
+    from repro.obs import read_trace_tolerant
+    from repro.obs.explain import format_trace_diff, trace_diff
+
+    events_a, skipped_a = read_trace_tolerant(path_a)
+    events_b, skipped_b = read_trace_tolerant(path_b)
+    diff = trace_diff(
+        events_a,
+        events_b,
+        label_a=os.path.basename(path_a),
+        label_b=os.path.basename(path_b),
+    )
+    print(format_trace_diff(diff, max_jobs=max_jobs if max_jobs > 0 else None))
+    skipped = skipped_a + skipped_b
+    if skipped:
+        print(f"(skipped {skipped} corrupt line(s))", file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Replay the decision ledger into one job's grant/denial timeline."""
+    from repro.obs import read_trace_tolerant
+    from repro.obs.explain import explain_trace
+
+    events, skipped = read_trace_tolerant(args.file)
+    print(explain_trace(events, args.job, at=args.at))
+    if skipped:
+        print(f"(skipped {skipped} corrupt line(s))", file=sys.stderr)
     return 0
 
 
@@ -697,12 +768,19 @@ def _cmd_arena(args: argparse.Namespace) -> int:
             config=config,
             engine=args.engine,
             baseline=args.baseline,
+            trace_prefix=args.trace_out,
         )
     except ReproError as exc:
         # Unknown policy names / bad baselines are usage errors, not
         # tracebacks: the registry's message already lists alternatives.
         print(f"arena: {exc}", file=sys.stderr)
         return 2
+    if args.trace_out:
+        print(
+            f"wrote per-policy traces + manifests to {args.trace_out}.<policy>"
+            ".jsonl",
+            file=sys.stderr,
+        )
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
@@ -866,6 +944,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSONL event trace (repro.obs) to FILE",
     )
     simulate_cmd.add_argument(
+        "--ledger",
+        choices=("auto", "off", "full", "sampled"),
+        default="auto",
+        help="decision-ledger fidelity (repro.obs.ledger): auto follows "
+        "--trace-out, full records every grant/denial, sampled keeps the "
+        "top-K grants per round plus aggregate counters",
+    )
+    simulate_cmd.add_argument(
+        "--ledger-top-k",
+        type=int,
+        default=8,
+        help="grants kept per allocation round in sampled mode (default: 8)",
+    )
+    simulate_cmd.add_argument(
         "--metrics-out",
         metavar="FILE",
         help="write a JSON metrics-registry dump (repro.obs) to FILE",
@@ -948,16 +1040,45 @@ def build_parser() -> argparse.ArgumentParser:
     soak.set_defaults(func=_cmd_soak)
 
     trace_cmd = sub.add_parser(
-        "trace", help="summarise a JSONL trace written by --trace-out"
+        "trace",
+        help="summarise a JSONL trace, or 'trace diff A B' to align two runs",
     )
-    trace_cmd.add_argument("file", help="path to the .jsonl trace")
+    trace_cmd.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE",
+        help="one .jsonl trace to summarise, or: diff TRACE_A TRACE_B",
+    )
     trace_cmd.add_argument(
         "--max-events-per-job",
         type=int,
         default=8,
         help="truncate each job's timeline (0 = no limit)",
     )
+    trace_cmd.add_argument(
+        "--diff-jobs",
+        type=int,
+        default=0,
+        help="diff mode: show at most this many divergent jobs (0 = all)",
+    )
     trace_cmd.set_defaults(func=_cmd_trace)
+
+    explain = sub.add_parser(
+        "explain",
+        help="replay the decision ledger: why one job got its allocation",
+    )
+    explain.add_argument("file", help="path to the .jsonl trace")
+    explain.add_argument(
+        "--job", required=True, help="job id to explain (e.g. job-0003-vgg-16)"
+    )
+    explain.add_argument(
+        "--at",
+        type=float,
+        default=None,
+        metavar="T",
+        help="truncate the replay to events at or before sim time T",
+    )
+    explain.set_defaults(func=_cmd_explain)
 
     metrics_export = sub.add_parser(
         "metrics-export",
@@ -1052,6 +1173,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--gate-output",
         metavar="FILE",
         help="write flat gate metrics (benchmarks/check_regression.py format)",
+    )
+    arena.add_argument(
+        "--trace-out",
+        metavar="PREFIX",
+        help="trace every policy's run (decision ledger included) to "
+        "PREFIX.<policy>.jsonl with manifests, and attribute JCT gaps to "
+        "the first divergent decision per job",
     )
     arena.set_defaults(func=_cmd_arena)
 

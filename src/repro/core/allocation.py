@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.cluster.resources import ResourceVector
 from repro.common.errors import SchedulingError
+from repro.obs.ledger import active_ledger
 from repro.obs.registry import active_registry
 
 #: f(p, w) -> steps/second.
@@ -297,6 +298,10 @@ def allocate(
             raise SchedulingError(f"duplicate job id {request.job_id!r}")
         seen.add(request.job_id)
 
+    ledger = active_ledger()
+    if ledger:
+        ledger.begin_round()
+
     # Capacity accounting on plain dicts: ``fits``/``consume`` run once per
     # heap pop and per starter, so avoiding a ResourceVector allocation per
     # check matters at fleet scale.
@@ -325,6 +330,10 @@ def allocate(
             active[request.job_id] = request
         else:
             starved.append(request.job_id)
+            if ledger:
+                ledger.record_denial(
+                    request.job_id, "capacity_exhausted", stage="starter"
+                )
 
     # Phase 2: greedy marginal-gain grants through a lazy max-heap. Heap
     # entries carry the candidate completion times, so a grant reuses the
@@ -360,6 +369,17 @@ def allocate(
                 heap,
                 (-gain, next(counter), job_id, kind, versions[job_id], t_worker, t_ps),
             )
+        elif ledger:
+            # Non-positive (or degenerate infinite) marginal gain: the job
+            # stops bidding voluntarily. Jobs at their task caps land here
+            # too (their gain is -inf by construction).
+            ledger.record_denial(
+                job_id,
+                "converged_yield",
+                workers=alloc.workers,
+                ps=alloc.ps,
+                gain=gain if gain == gain and abs(gain) != float("inf") else None,
+            )
 
     for job_id in active:
         alloc = allocations[job_id]
@@ -387,6 +407,16 @@ def allocate(
             elif kind == "ps" and alloc.workers < request.max_workers and fits(other):
                 kind, demand = "worker", other
             else:
+                # Fires at most once per job per round: the job is not
+                # re-pushed, and its version stamp kills stale entries.
+                if ledger:
+                    ledger.record_denial(
+                        job_id,
+                        "capacity_exhausted",
+                        stage="grow",
+                        workers=alloc.workers,
+                        ps=alloc.ps,
+                    )
                 continue  # job can't grow; others may still fit
         consume(demand)
         if kind == "worker":
@@ -398,6 +428,25 @@ def allocate(
         allocations[job_id] = alloc
         versions[job_id] += 1
         granted += 1
+        if ledger:
+            # Peek the next-best bidder. Discarding stale entries here is
+            # amortized-free: the pop loop would skip them anyway.
+            while heap and versions[heap[0][2]] != heap[0][4]:
+                heapq.heappop(heap)
+            gain = -neg_gain
+            runner_up = heap[0][2] if heap else None
+            runner_gain = -heap[0][0] if heap else None
+            ledger.record_grant(
+                job_id,
+                kind,
+                gain,
+                alloc.workers,
+                alloc.ps,
+                runner_up=runner_up,
+                runner_up_gap=(
+                    gain - runner_gain if runner_gain is not None else None
+                ),
+            )
         if trace:
             grant_log.append(
                 Grant(
@@ -428,6 +477,9 @@ def allocate(
             fits(r.worker_demand) or fits(r.ps_demand) for r in active.values()
         )
         stop_reason = "gains" if any_fits and smallest > 0 else "capacity"
+
+    if ledger:
+        ledger.end_round()
 
     metrics = active_registry()
     if metrics:

@@ -25,6 +25,13 @@ dependencies:
   ``repro top`` cluster/job table.
 * :mod:`repro.obs.summarize` -- turn a trace file into per-phase time
   breakdowns, span flame trees, estimator reports and per-job timelines.
+* :mod:`repro.obs.ledger` -- the scheduler decision ledger: compact
+  ``decision`` events (grants with marginal gain and runner-up gap,
+  denial reasons, placement provenance) with a sampling/budget knob;
+  off by default via :data:`NULL_LEDGER`.
+* :mod:`repro.obs.explain` -- replay a ledger into per-job timelines
+  (``repro explain``) and align two runs to find the first divergent
+  decision per job (``repro trace diff``).
 """
 
 from repro.obs.estimators import (
@@ -41,6 +48,23 @@ from repro.obs.export import (
     render_prometheus,
     render_top,
     top_state,
+)
+from repro.obs.explain import (
+    describe_decision,
+    explain_job,
+    explain_trace,
+    format_trace_diff,
+    trace_diff,
+)
+from repro.obs.ledger import (
+    DENIAL_REASONS,
+    LEDGER_MODES,
+    NULL_LEDGER,
+    DecisionLedger,
+    NullDecisionLedger,
+    active_ledger,
+    install_ledger,
+    use_ledger,
 )
 from repro.obs.registry import (
     DEFAULT_TIME_BUCKETS,
@@ -66,6 +90,8 @@ from repro.obs.spans import (
     span_tracer_for,
 )
 from repro.obs.summarize import (
+    control_plane_summary,
+    decision_summary,
     decision_timeline,
     estimator_report,
     event_type_counts,
@@ -85,6 +111,8 @@ from repro.obs.timeseries import (
 from repro.obs.tracer import (
     EVENT_ALLOCATION_DECIDED,
     EVENT_CHECKPOINT_MISSING,
+    EVENT_CHECKPOINT_RECORDED,
+    EVENT_DECISION,
     EVENT_ESTIMATOR_DRIFT,
     EVENT_ESTIMATOR_SAMPLE,
     EVENT_INTERVAL_TICK,
@@ -95,8 +123,11 @@ from repro.obs.tracer import (
     EVENT_JOB_RESTARTED,
     EVENT_KV_RETRY,
     EVENT_KV_RETRY_EXHAUSTED,
+    EVENT_LEADER_DEPOSED,
+    EVENT_LEADER_ELECTED,
     EVENT_NODE_CORDONED,
     EVENT_NODE_FAILED,
+    EVENT_NODE_LEASE_REGRANT,
     EVENT_NODE_LEASE_RENEWED,
     EVENT_NODE_RECOVERED,
     EVENT_PLACEMENT_DECIDED,
@@ -105,6 +136,7 @@ from repro.obs.tracer import (
     EVENT_STRAGGLER_DETECTED,
     EVENT_TASK_CRASHED,
     EVENT_TYPES,
+    EVENT_WRITE_FENCED,
     NULL_TRACER,
     JsonlTracer,
     NullTracer,
@@ -145,6 +177,27 @@ __all__ = [
     "EVENT_SPAN",
     "EVENT_ESTIMATOR_SAMPLE",
     "EVENT_ESTIMATOR_DRIFT",
+    "EVENT_CHECKPOINT_RECORDED",
+    "EVENT_LEADER_ELECTED",
+    "EVENT_LEADER_DEPOSED",
+    "EVENT_WRITE_FENCED",
+    "EVENT_NODE_LEASE_REGRANT",
+    "EVENT_DECISION",
+    # ledger
+    "DecisionLedger",
+    "NullDecisionLedger",
+    "NULL_LEDGER",
+    "LEDGER_MODES",
+    "DENIAL_REASONS",
+    "active_ledger",
+    "install_ledger",
+    "use_ledger",
+    # explain
+    "describe_decision",
+    "explain_job",
+    "explain_trace",
+    "trace_diff",
+    "format_trace_diff",
     # spans
     "Span",
     "SpanTracer",
@@ -187,6 +240,8 @@ __all__ = [
     "phase_breakdown",
     "job_timelines",
     "decision_timeline",
+    "decision_summary",
+    "control_plane_summary",
     "summarize_trace",
     "summarize_file",
     "event_type_counts",

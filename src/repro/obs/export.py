@@ -28,13 +28,19 @@ from repro.obs.estimators import SIGNAL_REMAINING, SIGNAL_SPEED
 from repro.obs.registry import MetricsRegistry, quantile_from_snapshot
 from repro.obs.tracer import (
     EVENT_ALLOCATION_DECIDED,
+    EVENT_CHECKPOINT_RECORDED,
+    EVENT_DECISION,
     EVENT_ESTIMATOR_DRIFT,
     EVENT_ESTIMATOR_SAMPLE,
     EVENT_INTERVAL_TICK,
     EVENT_JOB_ARRIVED,
     EVENT_JOB_COMPLETED,
     EVENT_JOB_RESTARTED,
+    EVENT_LEADER_DEPOSED,
+    EVENT_LEADER_ELECTED,
+    EVENT_NODE_LEASE_REGRANT,
     EVENT_PLACEMENT_DECIDED,
+    EVENT_WRITE_FENCED,
 )
 from repro.report import format_table
 
@@ -158,6 +164,14 @@ def top_state(events: Sequence[Dict]) -> Dict:
     last_tick: Dict = {}
     last_time = 0.0
     drift_events = 0
+    control = {
+        "elections": 0,
+        "depositions": 0,
+        "fenced_writes": 0,
+        "lease_regrants": 0,
+        "checkpoints": 0,
+    }
+    decisions = {"grants": 0, "denials": 0, "placements": 0, "shrinks": 0}
 
     def row(job_id: str) -> _JobRow:
         if job_id not in jobs:
@@ -199,12 +213,34 @@ def top_state(events: Sequence[Dict]) -> Dict:
         elif kind == EVENT_INTERVAL_TICK:
             ticks += 1
             last_tick = event
+        elif kind == EVENT_LEADER_ELECTED:
+            control["elections"] += 1
+        elif kind == EVENT_LEADER_DEPOSED:
+            control["depositions"] += 1
+        elif kind == EVENT_WRITE_FENCED:
+            control["fenced_writes"] += 1
+        elif kind == EVENT_NODE_LEASE_REGRANT:
+            control["lease_regrants"] += 1
+        elif kind == EVENT_CHECKPOINT_RECORDED:
+            control["checkpoints"] += 1
+        elif kind == EVENT_DECISION:
+            dkind = event.get("kind")
+            if dkind == "grant":
+                decisions["grants"] += 1
+            elif dkind == "deny":
+                decisions["denials"] += 1
+            elif dkind == "placement":
+                decisions["placements"] += 1
+            elif dkind == "shrink":
+                decisions["shrinks"] += 1
     return {
         "jobs": jobs,
         "ticks": ticks,
         "last_tick": last_tick,
         "last_time": last_time,
         "drift_events": drift_events,
+        "control": control,
+        "decisions": decisions,
     }
 
 
@@ -251,6 +287,24 @@ def render_top(
         lines.append(
             f"estimators: speed MAPE {speed_text}, loss-curve MAPE "
             f"{remaining_text}, drift events {state['drift_events']}"
+        )
+    control = state["control"]
+    if any(control.values()):
+        lines.append(
+            "control plane: "
+            + ", ".join(
+                f"{name}={count}" for name, count in control.items() if count
+            )
+        )
+    decisions = state["decisions"]
+    if any(decisions.values()):
+        lines.append(
+            "decision ledger: "
+            + ", ".join(
+                f"{name}={count}"
+                for name, count in decisions.items()
+                if count
+            )
         )
     if metrics_snapshot:
         counters = metrics_snapshot.get("counters", {})

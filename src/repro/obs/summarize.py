@@ -15,6 +15,11 @@ Several views are produced from the same event stream:
   allocate``) across the whole trace.
 * **Estimator report** -- per-job and fleet speed / loss-curve MAPE and
   bias recomputed from ``estimator_sample`` events, plus drift events.
+* **Decision ledger summary** -- grant / denial / placement-provenance
+  tallies from ``decision`` events (the per-job replay lives in
+  ``repro explain``).
+* **Control-plane summary** -- leader elections, depositions, fenced
+  writes, node-lease re-grants and checkpoints from the HA events.
 * **Per-job decision timeline** -- every ``job_*`` / ``*_decided`` event
   for each job in order.
 
@@ -37,18 +42,25 @@ import sys
 from collections import Counter as TallyCounter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.explain import describe_decision
 from repro.obs.tracer import (
     EVENT_ALLOCATION_DECIDED,
+    EVENT_CHECKPOINT_RECORDED,
+    EVENT_DECISION,
     EVENT_ESTIMATOR_DRIFT,
     EVENT_ESTIMATOR_SAMPLE,
     EVENT_INTERVAL_TICK,
     EVENT_JOB_ARRIVED,
     EVENT_JOB_COMPLETED,
     EVENT_JOB_RESCALED,
+    EVENT_LEADER_DEPOSED,
+    EVENT_LEADER_ELECTED,
+    EVENT_NODE_LEASE_REGRANT,
     EVENT_PLACEMENT_DECIDED,
     EVENT_SPAN,
     EVENT_STRAGGLER_DETECTED,
     EVENT_TYPES,
+    EVENT_WRITE_FENCED,
     read_trace,
     read_trace_tolerant,
 )
@@ -239,16 +251,81 @@ def estimator_report(events: Sequence[Dict]) -> Dict:
     }
 
 
+def decision_summary(events: Sequence[Dict]) -> Dict[str, Dict[str, int]]:
+    """Tally ``decision`` ledger events by kind.
+
+    Returns ``{"grants": {task: n}, "denials": {reason: n}, "placements":
+    {provenance: n}, "shrinks": {"shrink": n}, "sampled": {"sampled": n}}``
+    with empty inner dicts when the trace carries no ledger. Unknown
+    decision kinds are ignored (forward compatibility with newer builds).
+    """
+    grants: TallyCounter = TallyCounter()
+    denials: TallyCounter = TallyCounter()
+    placements: TallyCounter = TallyCounter()
+    shrinks = 0
+    sampled = 0
+    for event in events:
+        if event.get("event") != EVENT_DECISION:
+            continue
+        kind = event.get("kind")
+        if kind == "grant":
+            grants[str(event.get("task", "?"))] += 1
+            if event.get("sampled"):
+                sampled += 1
+        elif kind == "deny":
+            denials[str(event.get("reason", "?"))] += 1
+        elif kind == "placement":
+            placements[str(event.get("provenance", "?"))] += 1
+        elif kind == "shrink":
+            shrinks += 1
+    return {
+        "grants": dict(grants),
+        "denials": dict(denials),
+        "placements": dict(placements),
+        "shrinks": {"shrink": shrinks} if shrinks else {},
+        "sampled": {"sampled": sampled} if sampled else {},
+    }
+
+
+def control_plane_summary(events: Sequence[Dict]) -> Dict[str, int]:
+    """Tally HA control-plane events: elections, fencing, lease re-grants."""
+    tally = {
+        "leader_elections": 0,
+        "leader_depositions": 0,
+        "writes_fenced": 0,
+        "lease_regrants": 0,
+        "checkpoints_recorded": 0,
+    }
+    for event in events:
+        kind = event.get("event")
+        if kind == EVENT_LEADER_ELECTED:
+            tally["leader_elections"] += 1
+        elif kind == EVENT_LEADER_DEPOSED:
+            tally["leader_depositions"] += 1
+        elif kind == EVENT_WRITE_FENCED:
+            tally["writes_fenced"] += 1
+        elif kind == EVENT_NODE_LEASE_REGRANT:
+            tally["lease_regrants"] += 1
+        elif kind == EVENT_CHECKPOINT_RECORDED:
+            tally["checkpoints_recorded"] += 1
+    return tally
+
+
 def job_timelines(events: Sequence[Dict]) -> Dict[str, List[Dict]]:
     """Group per-job events (anything carrying ``job_id``) by job, in order.
 
-    ``span`` and ``estimator_sample`` events are excluded: they carry
-    ``job_id`` but belong to the flame-tree / estimator views, and at one
-    per interval they would drown the decision timeline.
+    ``span``, ``estimator_sample`` and ``decision`` events are excluded:
+    they carry ``job_id`` but belong to the flame-tree / estimator /
+    ledger views, and at many per interval they would drown the decision
+    timeline (``repro explain`` renders the ledger per job instead).
     """
     timelines: Dict[str, List[Dict]] = {}
     for event in events:
-        if event.get("event") in (EVENT_SPAN, EVENT_ESTIMATOR_SAMPLE):
+        if event.get("event") in (
+            EVENT_SPAN,
+            EVENT_ESTIMATOR_SAMPLE,
+            EVENT_DECISION,
+        ):
             continue
         job_id = event.get("job_id")
         if job_id is not None:
@@ -280,6 +357,28 @@ def _describe(event: Dict) -> str:
             f"estimator drift ({event.get('signal', '?')}): window MAPE "
             f"{100 * event.get('window_mape', 0.0):.0f}%"
         )
+    if kind == EVENT_CHECKPOINT_RECORDED:
+        return f"checkpoint recorded at {event.get('steps', 0):.0f} steps"
+    if kind == EVENT_LEADER_ELECTED:
+        return (
+            f"leader elected: {event.get('leader', '?')} "
+            f"(epoch {event.get('epoch', '?')})"
+        )
+    if kind == EVENT_LEADER_DEPOSED:
+        return (
+            f"leader deposed: {event.get('leader', '?')} "
+            f"(epoch {event.get('epoch', '?')}, {event.get('reason', '?')})"
+        )
+    if kind == EVENT_WRITE_FENCED:
+        return (
+            f"write fenced: {event.get('op', '?')} {event.get('key', '?')} "
+            f"by stale {event.get('leader', '?')} "
+            f"(epoch {event.get('epoch', '?')})"
+        )
+    if kind == EVENT_NODE_LEASE_REGRANT:
+        return f"node lease re-granted: {event.get('server', '?')}"
+    if kind == EVENT_DECISION:
+        return describe_decision(event)
     return kind
 
 
@@ -381,6 +480,52 @@ def summarize_trace(
                     for d in est["drift"]
                 )
             )
+
+    decisions = decision_summary(events)
+    if any(decisions.values()):
+        sections.append("")
+        sections.append("decision ledger:")
+        if decisions["grants"]:
+            grants_text = ", ".join(
+                f"{task}={count}"
+                for task, count in sorted(decisions["grants"].items())
+            )
+            total = sum(decisions["grants"].values())
+            sections.append(f"  grants: {total} ({grants_text})")
+        if decisions["sampled"]:
+            sections.append(
+                f"  sampled grants: {decisions['sampled']['sampled']} "
+                "(ledger ran in sampled mode; dropped grants are "
+                "counters-only)"
+            )
+        if decisions["denials"]:
+            denials_text = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(decisions["denials"].items())
+            )
+            sections.append(f"  denials: {denials_text}")
+        if decisions["placements"]:
+            placements_text = ", ".join(
+                f"{prov}={count}"
+                for prov, count in sorted(decisions["placements"].items())
+            )
+            sections.append(f"  placements: {placements_text}")
+        if decisions["shrinks"]:
+            sections.append(f"  shrinks: {decisions['shrinks']['shrink']}")
+        sections.append(
+            "  (replay one job with: repro explain TRACE --job JOB)"
+        )
+
+    control = control_plane_summary(events)
+    if any(control.values()):
+        sections.append("")
+        sections.append("control plane (HA):")
+        sections.append(
+            "  "
+            + ", ".join(
+                f"{name}={count}" for name, count in control.items() if count
+            )
+        )
 
     timelines = job_timelines(events)
     if timelines:

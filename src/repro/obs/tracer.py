@@ -81,6 +81,11 @@ EVENT_LEADER_DEPOSED = "leader_deposed"
 EVENT_WRITE_FENCED = "write_fenced"
 #: A late node heartbeat re-granted a lapsed (but unswept) health lease.
 EVENT_NODE_LEASE_REGRANT = "node_lease_regrant"
+#: One scheduler decision record from the :mod:`repro.obs.ledger`: a
+#: marginal-gain grant (with runner-up and gap), a per-job denial with its
+#: reason, a placement provenance note (cache replay vs fresh, spill), or
+#: a shrink-retry record. ``kind`` discriminates the sub-record.
+EVENT_DECISION = "decision"
 #: Terminal accounting record emitted once by a soak/simulation runner:
 #: which jobs finished, which are legitimately unfinished, and any state
 #: (pods, leases, intents) still held after teardown. The soak invariant
@@ -116,6 +121,7 @@ EVENT_TYPES = frozenset(
         EVENT_ESTIMATOR_SAMPLE,
         EVENT_ESTIMATOR_DRIFT,
         EVENT_CHECKPOINT_RECORDED,
+        EVENT_DECISION,
         EVENT_RUN_COMPLETED,
     }
 )

@@ -18,6 +18,7 @@ from repro.core.placement import (
     PlacementRequest,
     _apply_layout,
 )
+from repro.obs.ledger import active_ledger
 from repro.schedulers.base import JobView, Scheduler, SchedulingDecision
 from repro.schedulers.policies import ALLOCATION_POLICIES, PLACEMENT_POLICIES  # noqa: F401
 from repro.schedulers.registry import (
@@ -116,6 +117,7 @@ class CompositeScheduler(Scheduler):
         if not jobs:
             return SchedulingDecision()
         views = {v.job_id: v for v in jobs}
+        ledger = active_ledger()
         # Allocation works against what is actually free: foreign tenants'
         # pods or background reservations may already occupy the cluster.
         with self.spans.span("allocate", jobs=len(jobs)), self.profiler.phase(
@@ -156,6 +158,10 @@ class CompositeScheduler(Scheduler):
                         _apply_layout(cluster, request, cached)
                         layouts[request.job_id] = cached
                         hits += 1
+                        if ledger:
+                            ledger.record_placement(
+                                request.job_id, "cache", len(cached)
+                            )
                     else:
                         fresh.append(request)
                 cache.hits += hits
@@ -168,6 +174,9 @@ class CompositeScheduler(Scheduler):
                     )
             placement = self.placement_policy(cluster, fresh)
             layouts.update(placement.layouts)
+            if ledger:
+                for job_id, layout in placement.layouts.items():
+                    ledger.record_placement(job_id, "fresh", len(layout))
             final_allocations = {
                 job_id: alloc
                 for job_id, alloc in allocations.items()
@@ -193,6 +202,14 @@ class CompositeScheduler(Scheduler):
                     views[job_id].spec.ps_demand,
                 )
                 if shape in hopeless_shapes:
+                    if ledger:
+                        ledger.record_denial(
+                            job_id,
+                            "hopeless_shape",
+                            workers=workers,
+                            ps=ps,
+                            shared_shape=True,
+                        )
                     continue
                 while True:
                     retry = PlacementRequest(
@@ -206,9 +223,26 @@ class CompositeScheduler(Scheduler):
                     if job_id in result.layouts:
                         layouts[job_id] = result.layouts[job_id]
                         final_allocations[job_id] = TaskAllocation(workers, ps)
+                        if ledger:
+                            if (workers, ps) != (alloc.workers, alloc.ps):
+                                ledger.record_shrink(
+                                    job_id,
+                                    (alloc.workers, alloc.ps),
+                                    (workers, ps),
+                                )
+                            ledger.record_placement(
+                                job_id, "fresh", len(layouts[job_id])
+                            )
                         break
                     if (workers, ps) == (1, 1):
                         hopeless_shapes.add(shape)
+                        if ledger:
+                            ledger.record_denial(
+                                job_id,
+                                "hopeless_shape",
+                                workers=alloc.workers,
+                                ps=alloc.ps,
+                            )
                         break  # genuinely no room; paused (§4.2)
                     workers = max(1, workers // 2)
                     ps = max(1, ps // 2)

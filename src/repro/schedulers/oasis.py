@@ -38,6 +38,7 @@ from typing import Dict, List, Sequence
 
 from repro.cluster.resources import ResourceVector
 from repro.core.allocation import TaskAllocation
+from repro.obs.ledger import active_ledger
 from repro.schedulers.base import JobView
 from repro.schedulers.composite import CompositeScheduler
 from repro.schedulers.registry import register_allocation, register_scheduler
@@ -88,6 +89,9 @@ def oasis_allocation(
     if price_range <= 1.0:
         raise ValueError("price_range must be > 1")
     ordered = sorted(jobs, key=lambda v: (v.spec.arrival_time, v.job_id))
+    ledger = active_ledger()
+    if ledger:
+        ledger.begin_round()
 
     # Precompute each job's candidate bundles and utilities; establish U,
     # the best utility density on offer, which anchors the price curve.
@@ -108,6 +112,10 @@ def oasis_allocation(
             best_density = max(best_density, utility / size)
         candidates[view.job_id] = options
     if best_density <= 0.0:
+        if ledger:
+            for view in ordered:
+                ledger.record_denial(view.job_id, "converged_yield")
+            ledger.end_round()
         return {}
 
     upper = best_density
@@ -121,10 +129,13 @@ def oasis_allocation(
     for view in ordered:
         best = None
         best_surplus = 0.0
+        second_surplus = None
+        any_fit = False
         for option in candidates[view.job_id]:
             demand = option["demand"]
             if not (used + demand).fits_within(capacity):
                 continue
+            any_fit = True
             cost = 0.0
             for name, amount in demand.items():
                 cap = capacity.get(name)
@@ -132,12 +143,43 @@ def oasis_allocation(
                     cost += price(used.get(name) / cap) * (amount / cap)
             surplus = option["utility"] - cost
             if surplus > best_surplus:
+                second_surplus = best_surplus if best is not None else None
                 best_surplus = surplus
                 best = option
+            elif best is not None and (
+                second_surplus is None or surplus > second_surplus
+            ):
+                second_surplus = surplus
         if best is None:
-            continue  # priced out (or nothing fits): deferred, not starved
+            # Priced out (or nothing fits): deferred, not starved.
+            if ledger:
+                if not candidates[view.job_id]:
+                    reason = "converged_yield"  # no positive-utility bundle
+                elif not any_fit:
+                    reason = "capacity_exhausted"
+                else:
+                    reason = "price_rejected"
+                ledger.record_denial(view.job_id, reason)
+            continue
         used = used + best["demand"]
         allocations[view.job_id] = TaskAllocation(best["n"], best["n"])
+        if ledger:
+            # runner_up_gap here is the winning bundle's surplus edge over
+            # the job's own second-best bundle (a single-bidder auction).
+            ledger.record_grant(
+                view.job_id,
+                "bundle",
+                best_surplus,
+                best["n"],
+                best["n"],
+                runner_up_gap=(
+                    best_surplus - second_surplus
+                    if second_surplus is not None
+                    else None
+                ),
+            )
+    if ledger:
+        ledger.end_round()
     return allocations
 
 

@@ -18,6 +18,7 @@ against the committed baseline.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
@@ -116,6 +117,10 @@ class ArenaReport:
     engine: str
     servers: int
     jobs: int
+    #: Per-policy divergence attribution vs the baseline (see
+    #: :func:`repro.obs.explain.trace_diff`): populated when the arena ran
+    #: with ``trace_prefix`` so every policy's decision ledger exists.
+    divergence: Optional[Dict[str, Dict]] = None
 
     def score(self, policy: str) -> PolicyScore:
         for entry in self.scores:
@@ -149,7 +154,7 @@ class ArenaReport:
 
     def to_dict(self) -> Dict:
         """The full report as a strict-JSON-serialisable dictionary."""
-        return {
+        payload = {
             "baseline": self.baseline,
             "seed": self.seed,
             "engine": self.engine,
@@ -160,6 +165,9 @@ class ArenaReport:
                 for entry in self.scores
             ],
         }
+        if self.divergence is not None:
+            payload["divergence"] = self.divergence
+        return payload
 
     def gate_dict(self) -> Dict[str, float]:
         """Flat numeric metrics for ``benchmarks/check_regression.py``.
@@ -181,6 +189,11 @@ class ArenaReport:
         return gate
 
 
+def _trace_path(prefix: str, policy: str) -> str:
+    """Where one policy's arena trace lands (hybrid '+' sanitised)."""
+    return f"{prefix}.{policy.replace('+', '_')}.jsonl"
+
+
 def run_arena(
     policies: Sequence[str],
     cluster_factory: Callable[[], Cluster],
@@ -189,6 +202,7 @@ def run_arena(
     engine: Optional[str] = None,
     baseline: Optional[str] = None,
     scheduler_kwargs: Optional[Dict[str, dict]] = None,
+    trace_prefix: Optional[str] = None,
 ) -> ArenaReport:
     """Race the named policies head-to-head on one seeded trace.
 
@@ -198,6 +212,13 @@ def run_arena(
     the scheduler registry (including ``"alloc+place"`` hybrids); unknown
     names raise :class:`~repro.common.errors.SchedulingError` before any
     simulation runs.
+
+    ``trace_prefix`` turns on divergence attribution: each policy's run is
+    traced (decision ledger included) to ``<prefix>.<policy>.jsonl`` with a
+    manifest next to it, and the report's ``divergence`` maps every
+    non-baseline policy to its :func:`repro.obs.explain.trace_diff` against
+    the baseline -- the first decision where each job's fate forked, tied
+    to its JCT delta.
     """
     if not policies:
         raise SimulationError("need at least one policy to race")
@@ -218,12 +239,58 @@ def run_arena(
         name: make_scheduler(name, **(scheduler_kwargs or {}).get(name, {}))
         for name in policies
     }
+    traces: Dict[str, List[Dict]] = {}
     scores: List[PolicyScore] = []
     for name in policies:
+        tracer = None
+        if trace_prefix is not None:
+            from repro.obs.tracer import RecordingTracer
+
+            tracer = RecordingTracer()
         sim = simulation_for(
-            engine, cluster_factory(), schedulers[name], list(jobs), config
+            engine,
+            cluster_factory(),
+            schedulers[name],
+            list(jobs),
+            config,
+            tracer=tracer,
         )
         scores.append(score_result(name, sim.run()))
+        if tracer is not None:
+            traces[name] = tracer.events
+            from repro.sim.manifest import (
+                manifest_path_for,
+                run_manifest,
+                write_manifest,
+            )
+
+            path = _trace_path(trace_prefix, name)
+            with open(path, "w", encoding="utf8") as handle:
+                for event in tracer.events:
+                    handle.write(
+                        json.dumps(event, separators=(",", ":")) + "\n"
+                    )
+            write_manifest(
+                manifest_path_for(path),
+                run_manifest(
+                    config=config,
+                    engine=engine,
+                    policy=name,
+                    jobs=jobs,
+                    extra={"arena_baseline": baseline},
+                ),
+            )
+    divergence: Optional[Dict[str, Dict]] = None
+    if traces and baseline in traces and len(traces) > 1:
+        from repro.obs.explain import trace_diff
+
+        divergence = {
+            name: trace_diff(
+                traces[baseline], traces[name], label_a=baseline, label_b=name
+            )
+            for name in policies
+            if name != baseline and name in traces
+        }
     return ArenaReport(
         scores=tuple(scores),
         baseline=baseline,
@@ -231,6 +298,7 @@ def run_arena(
         engine=engine,
         servers=len(list(cluster_factory().server_names)),
         jobs=len(jobs),
+        divergence=divergence,
     )
 
 
@@ -253,4 +321,35 @@ def format_arena(report: ArenaReport) -> str:
             f"{rel['jct_ratio']:7.2f} {rel['makespan_ratio']:6.2f} "
             f"{entry.jain_fairness:6.3f} {entry.worker_utilization:6.3f}"
         )
+    if report.divergence:
+        lines.append("")
+        lines.append(
+            f"divergence vs {report.baseline} (first forked decision per job):"
+        )
+        for policy, diff in report.divergence.items():
+            lines.append(
+                f"  {policy}: {diff.get('divergent_jobs', 0)}"
+                f"/{diff.get('compared_jobs', 0)} job(s) diverged, "
+                f"total JCT delta {diff.get('total_jct_delta', 0.0):+.0f} s"
+            )
+            # The single most damaged job, with both sides of its fork.
+            jobs = diff.get("jobs", {})
+            worst = max(
+                (
+                    (job_id, info)
+                    for job_id, info in jobs.items()
+                    if info.get("jct_delta") and info.get("divergence")
+                ),
+                key=lambda kv: abs(kv[1]["jct_delta"]),
+                default=None,
+            )
+            if worst is not None:
+                job_id, info = worst
+                div = info["divergence"]
+                lines.append(
+                    f"    worst hit {job_id} ({info['jct_delta']:+.0f} s) "
+                    f"forked at decision #{div['index']}:"
+                )
+                lines.append(f"      {report.baseline}: {div.get('a') or '-'}")
+                lines.append(f"      {policy}: {div.get('b') or '-'}")
     return "\n".join(lines)

@@ -33,6 +33,12 @@ from repro.obs.estimators import (
     NULL_ESTIMATOR_TELEMETRY,
     EstimatorTelemetry,
 )
+from repro.obs.ledger import (
+    LEDGER_MODES,
+    NULL_LEDGER,
+    DecisionLedger,
+    use_ledger,
+)
 from repro.obs.registry import (
     NULL_PROFILER,
     MetricsRegistry,
@@ -126,6 +132,14 @@ class SimConfig:
     #: MAPE band for the estimator telemetry (see ``repro.obs.estimators``).
     estimator_drift_window: int = 6
     estimator_drift_threshold: float = 0.5
+    #: Decision-ledger fidelity (see :mod:`repro.obs.ledger`): "auto"
+    #: resolves to "full" when a tracer is attached and "off" otherwise;
+    #: "sampled" keeps only the top-K grants per round as events (plus the
+    #: aggregate counters), which is the fleet-scale budget mode; "off"
+    #: disables the ledger even with a tracer.
+    ledger_mode: str = "auto"
+    #: Grants kept per allocation round when ``ledger_mode="sampled"``.
+    ledger_top_k: int = 8
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -144,6 +158,12 @@ class SimConfig:
             raise SimulationError("estimator_drift_window must be >= 2")
         if self.estimator_drift_threshold <= 0:
             raise SimulationError("estimator_drift_threshold must be positive")
+        if self.ledger_mode not in ("auto",) + LEDGER_MODES:
+            raise SimulationError(
+                f"ledger_mode must be one of {('auto',) + LEDGER_MODES}"
+            )
+        if self.ledger_top_k < 1:
+            raise SimulationError("ledger_top_k must be >= 1")
 
 
 class Simulation:
@@ -209,6 +229,21 @@ class Simulation:
             )
         else:
             self.estimators = NULL_ESTIMATOR_TELEMETRY
+        # Decision ledger (repro.obs.ledger): "auto" follows the tracer, so
+        # untraced runs keep the null ledger and pay one bool check per
+        # allocation round.
+        mode = self.config.ledger_mode
+        if mode == "auto":
+            mode = "full" if self.tracer else "off"
+        if mode == "off":
+            self.ledger: DecisionLedger = NULL_LEDGER
+        else:
+            self.ledger = DecisionLedger(
+                tracer=self.tracer,
+                metrics=self.metrics,
+                mode=mode,
+                top_k=self.config.ledger_top_k,
+            )
         #: Optional metrics-history sink, sampled once per interval.
         self.timeseries = timeseries
         self.scheduler.instrument(
@@ -486,7 +521,9 @@ class Simulation:
 
     # -- the main loop --------------------------------------------------------------
     def run(self) -> SimulationResult:
-        with use_registry(self.metrics):
+        # Both context managers cover the event engine too: it overrides
+        # only ``_run``, never ``run``.
+        with use_registry(self.metrics), use_ledger(self.ledger):
             return self._run()
 
     def _admit_one(self, spec: JobSpec, now: float, active: Dict[str, RuntimeJob]) -> None:
@@ -564,6 +601,7 @@ class Simulation:
         spans = self.spans
         estimators = self.estimators
         spans.set_time(now)
+        self.ledger.set_time(now)
         with spans.span("interval", active_jobs=len(active)):
             with spans.span("fit"), profiler.phase("fit"):
                 views = [job.view() for job in active.values()]

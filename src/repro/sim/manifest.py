@@ -81,25 +81,31 @@ def fault_plan_to_dict(plan: Optional[FaultPlan]) -> Optional[Dict]:
 
 def run_manifest(
     *,
-    config: SimConfig,
+    config: Optional[SimConfig] = None,
     engine: str,
     policy: str,
+    seed: Optional[int] = None,
     jobs: Optional[Sequence[JobSpec]] = None,
     fault_plan: Optional[FaultPlan] = None,
     scenario: Optional[Dict] = None,
     extra: Optional[Dict] = None,
 ) -> Dict:
-    """Everything needed to replay this run, as one JSON-ready dict."""
+    """Everything needed to replay this run, as one JSON-ready dict.
+
+    ``config`` may be omitted by runs that have no :class:`SimConfig`
+    (the failover drill's control-plane loop); pass ``seed`` explicitly
+    then, and the config hash/dump fields are null.
+    """
     from repro import __version__
 
     manifest: Dict = {
         "manifest_version": MANIFEST_VERSION,
         "package_version": __version__,
-        "seed": config.seed,
+        "seed": config.seed if config is not None else seed,
         "engine": engine,
         "policy": policy,
-        "config_hash": config_digest(config),
-        "config": config_to_dict(config),
+        "config_hash": config_digest(config) if config is not None else None,
+        "config": config_to_dict(config) if config is not None else None,
         "fault_plan": fault_plan_to_dict(fault_plan),
     }
     if jobs is not None:

@@ -27,6 +27,17 @@ def golden_registry() -> MetricsRegistry:
     registry = MetricsRegistry()
     registry.counter("engine.intervals").inc(3)
     registry.counter("jobs.completed").inc(2)
+    # Decision-ledger counters (PR 10): grants, denials by reason,
+    # placement provenance.
+    registry.counter("decision.grants").inc(7)
+    registry.counter("decision.deny.capacity_exhausted").inc(2)
+    registry.counter("decision.placement.fresh").inc(3)
+    registry.counter("decision.placement.spill").inc(1)
+    # Control-plane HA counters (PR 9): elections, fencing, lease churn.
+    registry.counter("election.terms").inc(2)
+    registry.counter("election.depositions").inc(1)
+    registry.counter("election.writes_fenced").inc(1)
+    registry.counter("lease.regrants").inc(1)
     registry.gauge("engine.active_jobs").set(4)
     registry.gauge("est.speed_mape").set(0.125)
     hist = registry.histogram("sched.allocate_seconds", bounds=(0.1, 1.0))
@@ -69,6 +80,16 @@ class TestPrometheusRendering:
 
     def test_empty_registry_renders_empty_exposition(self):
         assert render_prometheus(MetricsRegistry()) == "\n"
+
+    def test_decision_and_election_counters_exported(self):
+        text = render_prometheus(golden_registry())
+        assert "repro_decision_grants_total 7" in text
+        assert "repro_decision_deny_capacity_exhausted_total 2" in text
+        assert "repro_decision_placement_fresh_total 3" in text
+        assert "repro_decision_placement_spill_total 1" in text
+        assert "repro_election_terms_total 2" in text
+        assert "repro_election_writes_fenced_total 1" in text
+        assert "repro_lease_regrants_total 1" in text
 
 
 class TestQuantiles:
@@ -121,6 +142,25 @@ def synthetic_trace():
         phases={},
     )
     tracer.emit("job_completed", 1200.0, job_id="j1", steps=100.0)
+    tracer.emit("leader_elected", 0.0, leader="ctl-a", epoch=1)
+    tracer.emit("leader_deposed", 900.0, leader="ctl-a", epoch=1, reason="ttl")
+    tracer.emit(
+        "write_fenced", 910.0, leader="ctl-a", epoch=1, op="put", key="/x"
+    )
+    tracer.emit("node_lease_regrant", 920.0, server="node-3")
+    tracer.emit("checkpoint_recorded", 930.0, job_id="j1", steps=90.0)
+    tracer.emit(
+        "decision", 0.0, kind="grant", job_id="j1", task="worker",
+        gain=0.5, workers=2, ps=1, index=0,
+    )
+    tracer.emit(
+        "decision", 0.0, kind="deny", job_id="j1",
+        reason="capacity_exhausted", stage="grow",
+    )
+    tracer.emit(
+        "decision", 0.0, kind="placement", job_id="j1",
+        provenance="fresh", servers=3,
+    )
     return tracer.events
 
 
@@ -135,6 +175,19 @@ class TestTop:
         assert (job.workers, job.ps, job.servers) == (4, 2, 3)
         assert job.speed_errors == [0.2]
         assert job.drift_signals == {"speed"}
+        assert state["control"] == {
+            "elections": 1,
+            "depositions": 1,
+            "fenced_writes": 1,
+            "lease_regrants": 1,
+            "checkpoints": 1,
+        }
+        assert state["decisions"] == {
+            "grants": 1,
+            "denials": 1,
+            "placements": 1,
+            "shrinks": 0,
+        }
 
     def test_render_includes_header_estimators_and_table(self):
         text = render_top(synthetic_trace())
@@ -142,6 +195,8 @@ class TestTop:
         assert "speed MAPE 20.0%" in text
         assert "drift events 1" in text
         assert "j1" in text and "resnet-50" in text
+        assert "control plane: elections=1, depositions=1" in text
+        assert "decision ledger: grants=1, denials=1, placements=1" in text
 
     def test_max_jobs_truncates_table(self):
         events = synthetic_trace()

@@ -54,6 +54,8 @@ class TestEventSchema:
             "leader_deposed",
             "write_fenced",
             "node_lease_regrant",
+            # scheduler decision ledger (grants / denials / placements)
+            "decision",
         }
 
     def test_emit_builds_typed_payload(self):
